@@ -1,0 +1,37 @@
+#include "bench_util.h"
+
+#include <iostream>
+
+namespace mapg::bench {
+
+BenchEnv parse_env(int argc, char** argv, std::uint64_t default_instructions,
+                   std::uint64_t default_warmup) {
+  KvConfig cfg;
+  cfg.parse_args(argc, argv);
+
+  BenchEnv env;
+  env.sim.instructions = cfg.get_uint("instructions", default_instructions);
+  env.sim.warmup_instructions = cfg.get_uint("warmup", default_warmup);
+  env.sim.run_seed = cfg.get_uint("seed", 42);
+  env.csv = cfg.get_bool("csv", false);
+  return env;
+}
+
+void banner(const std::string& experiment_id, const std::string& title,
+            const BenchEnv& env) {
+  std::cout << "==== " << experiment_id << ": " << title << " ====\n"
+            << "(reconstructed experiment, see DESIGN.md; instructions="
+            << env.sim.instructions << ", warmup="
+            << env.sim.warmup_instructions << ", seed=" << env.sim.run_seed
+            << ")\n\n";
+}
+
+void emit(const Table& table, const BenchEnv& env) {
+  if (env.csv)
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace mapg::bench

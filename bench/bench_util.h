@@ -1,0 +1,35 @@
+// Shared scaffolding for the table/figure reproduction binaries.
+//
+// Every bench accepts optional "--key=value" overrides:
+//   --instructions=N   measured instructions per run (default per-bench)
+//   --warmup=N         warmup instructions
+//   --seed=N           trace seed
+//   --csv=1            emit CSV instead of the aligned text table
+#pragma once
+
+#include <string>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "core/runner.h"
+#include "core/sim.h"
+
+namespace mapg::bench {
+
+struct BenchEnv {
+  SimConfig sim;
+  bool csv = false;
+};
+
+/// Parse argv into a SimConfig starting from the repository defaults.
+BenchEnv parse_env(int argc, char** argv, std::uint64_t default_instructions,
+                   std::uint64_t default_warmup = 250'000);
+
+/// Print the standard experiment banner (id, what it reproduces).
+void banner(const std::string& experiment_id, const std::string& title,
+            const BenchEnv& env);
+
+/// Emit a finished table in the requested format.
+void emit(const Table& table, const BenchEnv& env);
+
+}  // namespace mapg::bench

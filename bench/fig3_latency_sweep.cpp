@@ -1,0 +1,55 @@
+// R-Fig.3 — Sensitivity to memory latency: core-domain energy savings as
+// DRAM core timing (tRCD/tRP/tCL/tRAS) scales from 0.5x to 4x.
+//
+// Expected shape: longer memory latency -> longer stalls -> more gateable
+// time -> higher savings for both MAPG and Oracle, with MAPG tracking the
+// oracle across the sweep.  (The burst time and bus are left at 1x: this
+// models a slower DRAM core behind the same interface.)
+#include <iostream>
+
+#include "bench_util.h"
+#include "trace/profile.h"
+
+using namespace mapg;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::parse_env(argc, argv, 1'000'000);
+  bench::banner("R-Fig.3", "energy savings vs DRAM latency scaling", env);
+
+  Table t({"latency_scale", "workload", "policy", "core_energy_savings",
+           "runtime_overhead", "gated_time", "mean_stall_len"});
+
+  for (double scale : {0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0}) {
+    SimConfig cfg = env.sim;
+    auto scaled = [&](Cycle c) {
+      return static_cast<Cycle>(static_cast<double>(c) * scale);
+    };
+    cfg.mem.dram.t_rcd = scaled(env.sim.mem.dram.t_rcd);
+    cfg.mem.dram.t_rp = scaled(env.sim.mem.dram.t_rp);
+    cfg.mem.dram.t_cl = scaled(env.sim.mem.dram.t_cl);
+    cfg.mem.dram.t_ras = scaled(env.sim.mem.dram.t_ras);
+    ExperimentRunner runner(cfg);
+
+    for (const auto& profile : representative_profiles()) {
+      for (const char* spec : {"mapg", "oracle"}) {
+        const Comparison c = runner.compare_one(profile, spec);
+        const SimResult& r = c.result;
+        const double mean_stall =
+            r.core.stalls_dram
+                ? static_cast<double>(r.core.stall_cycles_dram) /
+                      static_cast<double>(r.core.stalls_dram)
+                : 0.0;
+        t.begin_row()
+            .cell(scale, 2)
+            .cell(profile.name)
+            .cell(r.policy)
+            .cell(format_percent(c.core_energy_savings))
+            .cell(format_percent(c.runtime_overhead, 2))
+            .cell(format_percent(r.gated_time_fraction()))
+            .cell(mean_stall, 1);
+      }
+    }
+  }
+  bench::emit(t, env);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// R-Fig.5 — Sensitivity to break-even time: net leakage savings as the PG
+// transition overhead energy scales from 0.25x to 8x (BET ~12 to ~380 cyc).
+//
+// Expected shape: MAPG's savings decay gracefully as BET grows (its
+// threshold rule declines stalls that are no longer profitable, so net
+// savings never go negative); IdleTimeout collapses quickly because its
+// effective gated interval was already truncated by the timeout; Oracle is
+// the upper envelope.
+#include <iostream>
+
+#include "bench_util.h"
+#include "power/pg_circuit.h"
+#include "trace/profile.h"
+
+using namespace mapg;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::parse_env(argc, argv, 1'000'000);
+  bench::banner("R-Fig.5", "savings vs break-even time (overhead scaling)",
+                env);
+
+  Table t({"overhead_scale", "break_even_cycles", "workload", "policy",
+           "net_leak_savings", "core_energy_savings", "gate_events",
+           "unprofitable"});
+
+  // Baselines are independent of the PG circuit: compute once per workload.
+  std::map<std::string, SimResult> bases;
+  for (const auto& profile : representative_profiles())
+    bases.emplace(profile.name, Simulator(env.sim).run(profile, "none"));
+
+  for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    SimConfig cfg = env.sim;
+    cfg.pg.overhead_scale = scale;
+    const Simulator sim(cfg);
+    const PgCircuit circuit(cfg.pg, cfg.tech);
+
+    for (const auto& profile : representative_profiles()) {
+      for (const char* spec : {"mapg", "idle-timeout:64", "oracle"}) {
+        const Comparison c =
+            score_against(bases.at(profile.name), sim.run(profile, spec));
+        const SimResult& r = c.result;
+        t.begin_row()
+            .cell(scale, 2)
+            .cell(circuit.break_even_cycles())
+            .cell(profile.name)
+            .cell(r.policy)
+            .cell(format_percent(c.net_leakage_savings))
+            .cell(format_percent(c.core_energy_savings))
+            .cell(r.gating.gated_events)
+            .cell(r.gating.unprofitable_events);
+      }
+    }
+  }
+  bench::emit(t, env);
+  return 0;
+}

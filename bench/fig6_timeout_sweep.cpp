@@ -1,0 +1,50 @@
+// R-Fig.6 — The conventional-baseline design space: IdleTimeout savings and
+// overhead across timeout thresholds, with MAPG as the reference line.
+//
+// Expected shape: small timeouts gate more but still pay the reactive
+// wakeup on every stall (high overhead); large timeouts miss the stalls
+// entirely.  No point on the timeout curve reaches MAPG's corner
+// (high savings AND ~zero overhead) — the motivation for memory-access-
+// driven gating.
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "trace/profile.h"
+
+using namespace mapg;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::parse_env(argc, argv, 1'000'000);
+  bench::banner("R-Fig.6", "idle-timeout sweep vs MAPG reference", env);
+
+  ExperimentRunner runner(env.sim);
+  Table t({"workload", "policy", "core_energy_savings", "net_leak_savings",
+           "runtime_overhead", "gate_events", "timeout_missed"});
+
+  for (const auto& profile : representative_profiles()) {
+    for (const Cycle timeout : {0u, 8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+      const std::string spec = "idle-timeout:" + std::to_string(timeout);
+      const Comparison c = runner.compare_one(profile, spec);
+      t.begin_row()
+          .cell(profile.name)
+          .cell(c.result.policy)
+          .cell(format_percent(c.core_energy_savings))
+          .cell(format_percent(c.net_leakage_savings))
+          .cell(format_percent(c.runtime_overhead, 2))
+          .cell(c.result.gating.gated_events)
+          .cell(c.result.gating.timeout_missed);
+    }
+    const Comparison mapg = runner.compare_one(profile, "mapg");
+    t.begin_row()
+        .cell(profile.name)
+        .cell("mapg (reference)")
+        .cell(format_percent(mapg.core_energy_savings))
+        .cell(format_percent(mapg.net_leakage_savings))
+        .cell(format_percent(mapg.runtime_overhead, 2))
+        .cell(mapg.result.gating.gated_events)
+        .cell(std::uint64_t{0});
+  }
+  bench::emit(t, env);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Simulator throughput microbenchmarks (google-benchmark): how fast each
+// substrate and the composed simulator run.  These guard against
+// performance regressions that would make the table/figure sweeps above
+// impractically slow.
+#include <benchmark/benchmark.h>
+
+#include "core/sim.h"
+#include "mem/cache.h"
+#include "mem/dram.h"
+#include "mem/hierarchy.h"
+#include "trace/generator.h"
+#include "trace/profile.h"
+
+namespace mapg {
+namespace {
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const WorkloadProfile* p = find_profile("mcf-like");
+  TraceGenerator gen(*p, 1);
+  Instr instr;
+  for (auto _ : state) {
+    gen.next(instr);
+    benchmark::DoNotOptimize(instr);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_CacheAccess(benchmark::State& state) {
+  Cache cache(CacheConfig{.name = "L2",
+                          .size_bytes = 1024 * 1024,
+                          .assoc = 16,
+                          .line_bytes = 64,
+                          .hit_latency = 12});
+  Prng prng(7);
+  const std::uint64_t span = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(prng.below(span) * 64, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 22);
+
+void BM_DramAccess(benchmark::State& state) {
+  Dram dram(DramConfig{});
+  Prng prng(11);
+  Cycle t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dram.access(prng.below(1 << 22) * 64, false, t));
+    t += 20;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramAccess);
+
+void BM_FullSimulation(benchmark::State& state) {
+  // End-to-end instructions/second for one memory-bound and one
+  // compute-bound profile under the full MAPG stack.
+  const char* names[] = {"mcf-like", "gamess-like"};
+  const WorkloadProfile* p = find_profile(names[state.range(0)]);
+  SimConfig cfg;
+  cfg.instructions = 200'000;
+  cfg.warmup_instructions = 0;
+  const Simulator sim(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(*p, "mapg"));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cfg.instructions));
+  state.SetLabel(p->name);
+}
+BENCHMARK(BM_FullSimulation)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mapg
+
+BENCHMARK_MAIN();

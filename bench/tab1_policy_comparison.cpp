@@ -1,0 +1,73 @@
+// R-Tab.1 — Headline comparison: core-domain energy savings and runtime
+// overhead for every workload under NoGating / IdleTimeout / Oracle /
+// MAPG-conservative / MAPG-aggressive.
+//
+// Expected shape (DESIGN.md §4): MAPG saves tens of percent on memory-bound
+// workloads at <2% overhead; IdleTimeout saves far less at much higher
+// overhead; Oracle bounds MAPG from above; compute-bound rows are ~0 for
+// every policy.
+#include <iostream>
+
+#include "bench_util.h"
+#include "trace/profile.h"
+
+using namespace mapg;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::parse_env(argc, argv, 2'000'000);
+  bench::banner("R-Tab.1",
+                "per-workload energy savings and overhead, all policies",
+                env);
+
+  ExperimentRunner runner(env.sim);
+  const auto specs = standard_policy_specs();
+
+  Table t({"workload", "MPKI", "policy", "core_energy_savings",
+           "total_energy_savings", "net_leak_savings", "runtime_overhead",
+           "gated_time", "gate_events", "unprofitable"});
+
+  struct Agg {
+    double core = 0, total = 0, leak = 0, over = 0;
+    int n = 0;
+  };
+  std::map<std::string, Agg> agg;
+
+  for (const auto& profile : builtin_profiles()) {
+    for (const auto& spec : specs) {
+      if (spec == "none") continue;  // the implicit reference
+      const Comparison c = runner.compare_one(profile, spec);
+      const SimResult& r = c.result;
+      t.begin_row()
+          .cell(profile.name)
+          .cell(r.mpki(), 1)
+          .cell(r.policy)
+          .cell(format_percent(c.core_energy_savings))
+          .cell(format_percent(c.total_energy_savings))
+          .cell(format_percent(c.net_leakage_savings))
+          .cell(format_percent(c.runtime_overhead, 2))
+          .cell(format_percent(r.gated_time_fraction()))
+          .cell(r.gating.gated_events)
+          .cell(r.gating.unprofitable_events);
+      Agg& a = agg[r.policy];
+      a.core += c.core_energy_savings;
+      a.total += c.total_energy_savings;
+      a.leak += c.net_leakage_savings;
+      a.over += c.runtime_overhead;
+      ++a.n;
+    }
+  }
+  bench::emit(t, env);
+
+  Table avg({"policy", "avg_core_savings", "avg_total_savings",
+             "avg_net_leak_savings", "avg_overhead"});
+  for (const auto& [policy, a] : agg) {
+    avg.begin_row()
+        .cell(policy)
+        .cell(format_percent(a.core / a.n))
+        .cell(format_percent(a.total / a.n))
+        .cell(format_percent(a.leak / a.n))
+        .cell(format_percent(a.over / a.n, 2));
+  }
+  bench::emit(avg, env);
+  return 0;
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Reproduce every experiment in EXPERIMENTS.md from a clean tree.
+#
+#   scripts/reproduce.sh [results_dir]
+#
+# Builds, runs the test suite, then regenerates every table/figure twice:
+# once as the human-readable bench_output.txt and once as per-experiment CSV
+# files under results/ for plotting.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RESULTS="${1:-results}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "=== tests ==="
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt | tail -3
+
+echo "=== benches (text) ==="
+: > bench_output.txt
+for b in build/bench/*; do
+  echo "######## $(basename "$b")" | tee -a bench_output.txt
+  "$b" >> bench_output.txt 2>&1
+done
+
+echo "=== benches (csv -> ${RESULTS}/) ==="
+mkdir -p "${RESULTS}"
+for b in build/bench/*; do
+  name="$(basename "$b")"
+  case "$name" in
+    micro_sim_throughput)
+      "$b" --benchmark_format=csv > "${RESULTS}/${name}.csv" 2>/dev/null ;;
+    *)
+      "$b" --csv=1 > "${RESULTS}/${name}.csv" ;;
+  esac
+done
+
+echo "done: test_output.txt, bench_output.txt, ${RESULTS}/*.csv"

@@ -1,0 +1,44 @@
+// Minimal key=value configuration store.
+//
+// Examples and bench binaries accept "--key=value" overrides; this class is
+// the single parsing point so every component's knobs are scriptable without
+// pulling in a heavyweight config library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mapg {
+
+class KvConfig {
+ public:
+  KvConfig() = default;
+
+  /// Parse "key=value" lines; '#' starts a comment; blank lines are skipped.
+  /// Returns false (and stops) on a malformed line.
+  bool parse_text(const std::string& text, std::string* error = nullptr);
+
+  /// Parse argv-style overrides: each "--key=value" or "key=value" is stored.
+  /// Unrecognized words (no '=') are returned for the caller to handle.
+  std::vector<std::string> parse_args(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value);
+  bool contains(const std::string& key) const;
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& dflt) const;
+  std::int64_t get_int(const std::string& key, std::int64_t dflt) const;
+  std::uint64_t get_uint(const std::string& key, std::uint64_t dflt) const;
+  double get_double(const std::string& key, double dflt) const;
+  bool get_bool(const std::string& key, bool dflt) const;
+
+  const std::map<std::string, std::string>& all() const { return kv_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace mapg

@@ -1,0 +1,33 @@
+#include "common/log.h"
+
+#include <iostream>
+
+namespace mapg {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::ostream& os = level >= LogLevel::kWarn ? std::cerr : std::clog;
+  os << "[" << level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace mapg

@@ -1,0 +1,152 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mapg {
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::reset() { *this = RunningStat{}; }
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stdev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets ? buckets : 1)),
+      counts_(buckets ? buckets : 1, 0) {}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge guard
+  counts_[idx] += weight;
+}
+
+void Histogram::merge(const Histogram& other) {
+  // Only same-shape histograms may merge; shape mismatch is a logic error.
+  if (other.counts_.size() != counts_.size()) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target && underflow_ > 0) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string(std::size_t max_rows) const {
+  std::ostringstream os;
+  std::size_t rows = 0;
+  for (std::size_t i = 0; i < counts_.size() && rows < max_rows; ++i) {
+    if (counts_[i] == 0) continue;
+    const double pct =
+        total_ ? 100.0 * static_cast<double>(counts_[i]) /
+                     static_cast<double>(total_)
+               : 0.0;
+    os << "[" << bucket_lo(i) << ", " << bucket_hi(i) << "): " << counts_[i]
+       << " (" << pct << "%)\n";
+    ++rows;
+  }
+  if (underflow_) os << "underflow: " << underflow_ << "\n";
+  if (overflow_) os << "overflow: " << overflow_ << "\n";
+  return os.str();
+}
+
+void LogHistogram::add(std::uint64_t x, std::uint64_t weight) {
+  std::size_t idx = 0;
+  if (x > 0) idx = static_cast<std::size_t>(64 - __builtin_clzll(x));
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+std::uint64_t LogHistogram::bucket_lo(std::size_t i) const {
+  return i == 0 ? 0 : (1ULL << (i - 1));
+}
+
+std::uint64_t LogHistogram::bucket_hi(std::size_t i) const {
+  return i == 0 ? 1 : (1ULL << i);
+}
+
+std::string LogHistogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double pct =
+        total_ ? 100.0 * static_cast<double>(counts_[i]) /
+                     static_cast<double>(total_)
+               : 0.0;
+    os << "[" << bucket_lo(i) << ", " << bucket_hi(i) << "): " << counts_[i]
+       << " (" << pct << "%)\n";
+  }
+  return os.str();
+}
+
+std::uint64_t CounterSet::get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+}  // namespace mapg

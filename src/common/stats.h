@@ -1,0 +1,97 @@
+// Streaming statistics used throughout the simulator: running moments,
+// linear and logarithmic histograms, and simple named counters.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mapg {
+
+/// Welford online mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& other);
+  void reset();
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stdev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples land in
+/// saturating underflow/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, std::uint64_t weight = 1);
+  void merge(const Histogram& other);
+
+  std::size_t buckets() const { return counts_.size(); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Value below which `q` (0..1) of the mass lies (linear interpolation
+  /// within the containing bucket; under/overflow clamp to the range edges).
+  double quantile(double q) const;
+
+  /// Render as "lo..hi: count (percent)" lines, skipping empty buckets.
+  std::string to_string(std::size_t max_rows = 64) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Power-of-two bucketed histogram for long-tailed cycle counts.
+class LogHistogram {
+ public:
+  void add(std::uint64_t x, std::uint64_t weight = 1);
+  std::uint64_t total() const { return total_; }
+  std::size_t buckets() const { return counts_.size(); }
+  /// Bucket i covers [2^(i-1), 2^i) for i >= 1; bucket 0 covers {0}.
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  std::uint64_t bucket_lo(std::size_t i) const;
+  std::uint64_t bucket_hi(std::size_t i) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// String-keyed event counters; cheap enough for per-simulation bookkeeping,
+/// not for per-cycle hot paths (those use dedicated struct fields).
+class CounterSet {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1) {
+    counters_[name] += by;
+  }
+  std::uint64_t get(const std::string& name) const;
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace mapg

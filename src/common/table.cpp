@@ -1,0 +1,98 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+namespace mapg {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  if (rows_.empty()) begin_row();
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  return cell(format_fixed(value, precision));
+}
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string{};
+      os << (c == 0 ? "| " : " | ") << std::left
+         << std::setw(static_cast<int>(widths[c])) << v;
+    }
+    os << " |\n";
+  };
+
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      if (row[c].find(',') != std::string::npos)
+        os << '"' << row[c] << '"';
+      else
+        os << row[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_fixed(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string format_percent(double fraction, int precision) {
+  return format_fixed(100.0 * fraction, precision) + "%";
+}
+
+std::string format_si(double v, int precision) {
+  const char* suffix = "";
+  double scaled = v;
+  if (v >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "G";
+  } else if (v >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "k";
+  }
+  return format_fixed(scaled, precision) + suffix;
+}
+
+}  // namespace mapg

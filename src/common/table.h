@@ -1,0 +1,43 @@
+// Console table / CSV rendering used by the benchmark harnesses to print the
+// reconstructed paper tables and figure series.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mapg {
+
+/// Column-aligned text table.  Cells are strings; numeric helpers format with
+/// fixed precision.  `print` pads to the widest cell per column.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& begin_row();
+  Table& cell(const std::string& value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Pretty-print with a header rule, e.g. for stdout.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated form; quotes cells containing commas.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by benches and examples.
+std::string format_fixed(double v, int precision);
+std::string format_percent(double fraction, int precision = 1);
+std::string format_si(double v, int precision = 2);  ///< 1.2k / 3.4M / 5.6G
+
+}  // namespace mapg

@@ -1,0 +1,37 @@
+// Fundamental scalar types shared by every MAPG library.
+//
+// All simulator time is expressed in core clock cycles (`Cycle`).  Converting
+// to wall-clock time or energy requires the technology parameters in
+// src/power/tech_params.h; nothing below this layer ever deals in seconds.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mapg {
+
+/// Absolute simulation time, in core clock cycles.
+using Cycle = std::uint64_t;
+
+/// A physical byte address.
+using Addr = std::uint64_t;
+
+/// Monotonically increasing instruction sequence number within a trace.
+using InstrId = std::uint64_t;
+
+/// Sentinel for "no cycle" / "unknown time".
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/// Sentinel for "no address".
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/// Saturating cycle addition; keeps kNoCycle absorbing.
+constexpr Cycle cycle_add(Cycle a, Cycle b) {
+  if (a == kNoCycle || b == kNoCycle) return kNoCycle;
+  return (a > kNoCycle - b) ? kNoCycle : a + b;
+}
+
+/// Difference that clamps at zero instead of wrapping.
+constexpr Cycle cycle_sub_sat(Cycle a, Cycle b) { return a > b ? a - b : 0; }
+
+}  // namespace mapg

@@ -1,0 +1,74 @@
+#include "core/runner.h"
+
+namespace mapg {
+
+Comparison score_against(const SimResult& base, SimResult result) {
+  Comparison c;
+  const double e_base = base.energy.total_j();
+  const double e_run = result.energy.total_j();
+  if (e_base > 0) c.total_energy_savings = 1.0 - e_run / e_base;
+
+  const double ec_base = base.energy.core_domain_j();
+  const double ec_run = result.energy.core_domain_j();
+  if (ec_base > 0) c.core_energy_savings = 1.0 - ec_run / ec_base;
+
+  const double leak_base = base.energy.core_leak_baseline_j;
+  if (leak_base > 0) {
+    c.net_leakage_savings =
+        (result.energy.core_leak_saved_j() - result.energy.pg_overhead_j) /
+        leak_base;
+  }
+
+  if (base.core.cycles > 0) {
+    c.runtime_overhead = static_cast<double>(result.core.cycles) /
+                             static_cast<double>(base.core.cycles) -
+                         1.0;
+  }
+  c.result = std::move(result);
+  return c;
+}
+
+const SimResult& ExperimentRunner::baseline(const WorkloadProfile& profile) {
+  auto it = baselines_.find(profile.name);
+  if (it == baselines_.end())
+    it = baselines_.emplace(profile.name, sim_.run(profile, "none")).first;
+  return it->second;
+}
+
+Comparison ExperimentRunner::compare_one(const WorkloadProfile& profile,
+                                         const std::string& policy_spec) {
+  const SimResult& base = baseline(profile);
+  return score_against(base, sim_.run(profile, policy_spec));
+}
+
+std::vector<Comparison> ExperimentRunner::compare(
+    const WorkloadProfile& profile, const std::vector<std::string>& specs) {
+  std::vector<Comparison> out;
+  out.reserve(specs.size());
+  for (const auto& spec : specs) out.push_back(compare_one(profile, spec));
+  return out;
+}
+
+ReplicatedComparison ExperimentRunner::replicate(
+    const WorkloadProfile& profile, const std::string& policy_spec,
+    unsigned n_seeds) {
+  ReplicatedComparison rep;
+  rep.workload = profile.name;
+  for (unsigned i = 0; i < n_seeds; ++i) {
+    SimConfig cfg = sim_.config();
+    cfg.run_seed += i;
+    const Simulator sim(cfg);
+    const SimResult base = sim.run(profile, "none");
+    const Comparison c = score_against(base, sim.run(profile, policy_spec));
+    rep.policy = c.result.policy;
+    rep.core_energy_savings.add(c.core_energy_savings);
+    rep.total_energy_savings.add(c.total_energy_savings);
+    rep.net_leakage_savings.add(c.net_leakage_savings);
+    rep.runtime_overhead.add(c.runtime_overhead);
+    rep.mpki.add(c.result.mpki());
+    rep.ipc.add(c.result.ipc());
+  }
+  return rep;
+}
+
+}  // namespace mapg

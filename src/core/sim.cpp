@@ -1,0 +1,214 @@
+#include "core/sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mapg {
+namespace {
+
+/// Scalar-only snapshot of the stats the thermal epoch loop differences.
+struct EpochSnap {
+  Cycle cycles = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t deep_gated = 0;
+  std::uint64_t light_gated = 0;
+  std::uint64_t deep_tr = 0;
+  std::uint64_t light_tr = 0;
+  std::uint64_t pg_phase = 0;  ///< entry + gated + wake cycles
+  std::array<std::uint64_t, kNumOpClasses> instr{};
+
+  static EpochSnap take(const Core& core, const PgController& pgc) {
+    const CoreStats& c = core.stats();
+    const GatingActivity& a = pgc.activity();
+    EpochSnap s;
+    s.cycles = c.cycles;
+    s.idle = c.idle_cycles();
+    s.deep_gated = a.deep_gated_cycles;
+    s.light_gated = a.light_gated_cycles;
+    s.deep_tr = a.deep_transitions;
+    s.light_tr = a.light_transitions;
+    s.pg_phase = a.gated_cycles + a.entry_cycles + a.wake_cycles;
+    s.instr = c.instr_by_class;
+    return s;
+  }
+};
+
+}  // namespace
+
+PolicyContext Simulator::policy_context() const {
+  const PgCircuit circuit(config_.pg, config_.tech);
+  return PgController::make_context(circuit);
+}
+
+SimResult Simulator::run(const WorkloadProfile& profile,
+                         const std::string& policy_spec) const {
+  TraceGenerator gen(profile, config_.run_seed);
+  const PgCircuit circuit(config_.pg, config_.tech);
+  const PolicyContext ctx = PgController::make_context(circuit);
+  std::unique_ptr<PgPolicy> policy = make_policy(policy_spec, ctx);
+  if (!policy)
+    throw std::invalid_argument("unknown policy spec: " + policy_spec);
+  return run(gen, profile.name, *policy);
+}
+
+SimResult Simulator::run(TraceSource& trace, const std::string& workload_name,
+                         PgPolicy& policy) const {
+  const PgCircuit circuit(config_.pg, config_.tech);
+  MemoryHierarchy mem(config_.mem);
+  PgController controller(policy, circuit);
+  Core core(config_.core, mem, &controller);
+
+  // Warmup: populate caches, open DRAM rows, and let streams reach steady
+  // state before measurement.  Gating runs during warmup too (so PG state is
+  // realistic), but its statistics are discarded.
+  if (config_.warmup_instructions > 0) {
+    core.run(trace, config_.warmup_instructions);
+    core.reset_stats();
+    mem.reset_stats();
+    controller.reset_stats();
+  }
+
+  core.run(trace, config_.instructions);
+
+  SimResult result;
+  result.workload = workload_name;
+  result.policy = policy.name();
+  result.ctx = policy.context();
+  result.core = core.stats();
+  result.hier = mem.stats();
+  result.l1 = mem.l1_stats();
+  result.l2 = mem.l2_stats();
+  result.dram = mem.dram_stats();
+  result.gating = controller.stats();
+  result.energy = compute_energy(config_.tech, &circuit, result.core,
+                                 result.gating.activity);
+  result.energy.dram_j =
+      compute_dram_energy_j(result.dram, config_.mem.dram, config_.tech,
+                            config_.dram_energy, result.core.cycles);
+  return result;
+}
+
+ThermalResult Simulator::run_thermal(const WorkloadProfile& profile,
+                                     const std::string& policy_spec) const {
+  TraceGenerator gen(profile, config_.run_seed);
+  const PgCircuit circuit(config_.pg, config_.tech);
+  const PolicyContext ctx = PgController::make_context(circuit);
+  std::unique_ptr<PgPolicy> policy = make_policy(policy_spec, ctx);
+  if (!policy)
+    throw std::invalid_argument("unknown policy spec: " + policy_spec);
+  return run_thermal(gen, profile.name, *policy);
+}
+
+ThermalResult Simulator::run_thermal(TraceSource& trace,
+                                     const std::string& workload_name,
+                                     PgPolicy& policy) const {
+  const PgCircuit circuit(config_.pg, config_.tech);
+  MemoryHierarchy mem(config_.mem);
+  PgController controller(policy, circuit);
+  Core core(config_.core, mem, &controller);
+  ThermalModel thermal(config_.thermal, config_.tech);
+  const TechParams& tech = config_.tech;
+  const double light_frac = circuit.save_fraction(SleepMode::kLight);
+
+  // Per-epoch energy of the core hot-spot domain, at the CURRENT leakage
+  // multiplier; also drives the thermal node.
+  auto epoch_energy_j = [&](const EpochSnap& a, const EpochSnap& b,
+                            double mult) {
+    double dyn = 0;
+    for (std::size_t c = 0; c < kNumOpClasses; ++c)
+      dyn += static_cast<double>(b.instr[c] - a.instr[c]) *
+             tech.dyn_energy_nj[c] * 1e-9;
+    const double dt_cycles = static_cast<double>(b.cycles - a.cycles);
+    const double eff_gated =
+        static_cast<double>(b.deep_gated - a.deep_gated) +
+        light_frac * static_cast<double>(b.light_gated - a.light_gated);
+    const double leak =
+        mult * (tech.core_leakage_w * tech.cycles_to_seconds(dt_cycles) -
+                tech.savable_leakage_w() * tech.cycles_to_seconds(eff_gated));
+    const double idle_ungated = static_cast<double>(
+        (b.idle - a.idle) - (b.pg_phase - a.pg_phase));
+    const double idle_clock =
+        tech.idle_clock_w * tech.cycles_to_seconds(idle_ungated);
+    const double ovh =
+        circuit.overhead_energy_j(SleepMode::kDeep) *
+            static_cast<double>(b.deep_tr - a.deep_tr) +
+        circuit.overhead_energy_j(SleepMode::kLight) *
+            static_cast<double>(b.light_tr - a.light_tr);
+    return dyn + leak + idle_clock + ovh;
+  };
+  // The feedback-corrected leakage alone (for ThermalResult bookkeeping).
+  auto epoch_leak_j = [&](const EpochSnap& a, const EpochSnap& b,
+                          double mult) {
+    const double dt_cycles = static_cast<double>(b.cycles - a.cycles);
+    const double eff_gated =
+        static_cast<double>(b.deep_gated - a.deep_gated) +
+        light_frac * static_cast<double>(b.light_gated - a.light_gated);
+    return mult *
+           (tech.core_leakage_w * tech.cycles_to_seconds(dt_cycles) -
+            tech.savable_leakage_w() * tech.cycles_to_seconds(eff_gated));
+  };
+
+  const std::uint64_t epoch = std::max<std::uint64_t>(
+      config_.thermal.epoch_instructions, 1);
+
+  // Run one phase (warmup or measurement) epoch by epoch, keeping the
+  // thermal node integrated throughout.
+  auto run_phase = [&](std::uint64_t instrs, ThermalResult* out) {
+    std::uint64_t done = 0;
+    EpochSnap prev = EpochSnap::take(core, controller);
+    double weighted_t = 0, total_dt = 0, peak = thermal.temperature_c();
+    while (done < instrs) {
+      const std::uint64_t chunk = std::min(epoch, instrs - done);
+      core.run(trace, chunk);
+      done += chunk;
+      const EpochSnap now = EpochSnap::take(core, controller);
+      if (now.cycles == prev.cycles) break;  // trace exhausted
+      const double mult = thermal.leakage_multiplier();
+      const double dt_s = tech.cycles_to_seconds(
+          static_cast<double>(now.cycles - prev.cycles));
+      const double e_j = epoch_energy_j(prev, now, mult);
+      thermal.step(e_j / dt_s, dt_s);
+      if (out != nullptr) {
+        out->thermal_core_leak_j += epoch_leak_j(prev, now, mult);
+        weighted_t += thermal.temperature_c() * dt_s;
+        total_dt += dt_s;
+        peak = std::max(peak, thermal.temperature_c());
+        ++out->epochs;
+      }
+      prev = now;
+    }
+    if (out != nullptr && total_dt > 0) {
+      out->avg_temperature_c = weighted_t / total_dt;
+      out->peak_temperature_c = peak;
+    }
+  };
+
+  if (config_.warmup_instructions > 0) {
+    run_phase(config_.warmup_instructions, nullptr);
+    core.reset_stats();
+    mem.reset_stats();
+    controller.reset_stats();
+  }
+
+  ThermalResult result;
+  run_phase(config_.instructions, &result);
+  result.final_temperature_c = thermal.temperature_c();
+
+  result.sim.workload = workload_name;
+  result.sim.policy = policy.name();
+  result.sim.ctx = policy.context();
+  result.sim.core = core.stats();
+  result.sim.hier = mem.stats();
+  result.sim.l1 = mem.l1_stats();
+  result.sim.l2 = mem.l2_stats();
+  result.sim.dram = mem.dram_stats();
+  result.sim.gating = controller.stats();
+  result.sim.energy = compute_energy(tech, &circuit, result.sim.core,
+                                     result.sim.gating.activity);
+  result.sim.energy.dram_j =
+      compute_dram_energy_j(result.sim.dram, config_.mem.dram, tech,
+                            config_.dram_energy, result.sim.core.cycles);
+  return result;
+}
+
+}  // namespace mapg

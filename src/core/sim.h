@@ -1,0 +1,125 @@
+// Simulator: wires trace -> core -> hierarchy -> PG controller -> energy.
+//
+// This is the library's main entry point.  A single call:
+//
+//   SimConfig cfg;                       // platform (defaults = DESIGN.md §7)
+//   Simulator sim(cfg);
+//   SimResult r = sim.run(*find_profile("mcf-like"), "mapg");
+//
+// runs warmup + measurement and returns every statistic the experiments
+// consume.  Instances are independent; runs are deterministic functions of
+// (config, profile, policy spec).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cpu/core.h"
+#include "mem/hierarchy.h"
+#include "pg/factory.h"
+#include "pg/pg_controller.h"
+#include "power/dram_energy.h"
+#include "power/energy_model.h"
+#include "power/pg_circuit.h"
+#include "power/tech_params.h"
+#include "power/thermal.h"
+#include "trace/generator.h"
+#include "trace/profile.h"
+
+namespace mapg {
+
+struct SimConfig {
+  CoreConfig core{};
+  HierarchyConfig mem{};
+  TechParams tech{};
+  PgCircuitConfig pg{};
+  DramEnergyParams dram_energy{};
+  /// Optional leakage-temperature feedback (run_thermal only).
+  ThermalConfig thermal{};
+  std::uint64_t instructions = 5'000'000;
+  std::uint64_t warmup_instructions = 250'000;
+  std::uint64_t run_seed = 42;
+};
+
+struct SimResult {
+  std::string workload;
+  std::string policy;
+  PolicyContext ctx;
+
+  CoreStats core;
+  HierarchyStats hier;
+  CacheStats l1;
+  CacheStats l2;
+  DramStats dram;
+  GatingStats gating;
+  EnergyBreakdown energy;
+
+  /// DRAM-served loads per kilo-instruction (the LLC-miss MPKI analogue).
+  double mpki() const {
+    return core.instrs ? 1000.0 * static_cast<double>(hier.served_dram) /
+                             static_cast<double>(core.instrs)
+                       : 0.0;
+  }
+  double ipc() const { return core.ipc(); }
+  /// Fraction of execution time the core spent fully gated.
+  double gated_time_fraction() const {
+    return core.cycles ? static_cast<double>(gating.activity.gated_cycles) /
+                             static_cast<double>(core.cycles)
+                       : 0.0;
+  }
+};
+
+/// Result of a run with leakage-temperature feedback (power/thermal.h):
+/// the usual SimResult (whose energy fields remain ISOTHERMAL, i.e.
+/// leakage at T_ref), plus the temperature trajectory and the
+/// feedback-corrected energy.
+struct ThermalResult {
+  SimResult sim;
+  double final_temperature_c = 0;
+  double peak_temperature_c = 0;
+  double avg_temperature_c = 0;  ///< time-weighted over the measured run
+  /// Gated-domain leakage actually paid, with the multiplier m(T) applied
+  /// epoch by epoch.
+  double thermal_core_leak_j = 0;
+  std::uint64_t epochs = 0;
+
+  /// Total energy with the feedback-corrected core leakage substituted.
+  double thermal_total_j() const {
+    return sim.energy.total_j() - sim.energy.core_leak_j +
+           thermal_core_leak_j;
+  }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(SimConfig config) : config_(std::move(config)) {}
+
+  /// Run one (workload, policy) combination.  `policy_spec` is a factory
+  /// spec (see pg/factory.h).  Throws std::invalid_argument on a bad spec.
+  SimResult run(const WorkloadProfile& profile,
+                const std::string& policy_spec) const;
+
+  /// Run with an externally provided trace source and policy (library API
+  /// for custom workloads/policies; see examples/custom_policy.cpp).
+  SimResult run(TraceSource& trace, const std::string& workload_name,
+                PgPolicy& policy) const;
+
+  /// Like run(), but integrates the core hot-spot temperature epoch by
+  /// epoch and applies the leakage-temperature feedback (R-Tab.7).  Uses
+  /// config().thermal for the RC node parameters.
+  ThermalResult run_thermal(const WorkloadProfile& profile,
+                            const std::string& policy_spec) const;
+  ThermalResult run_thermal(TraceSource& trace,
+                            const std::string& workload_name,
+                            PgPolicy& policy) const;
+
+  const SimConfig& config() const { return config_; }
+
+  /// The circuit-derived context policies should be constructed with.
+  PolicyContext policy_context() const;
+
+ private:
+  SimConfig config_;
+};
+
+}  // namespace mapg

@@ -1,0 +1,150 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mapg {
+
+Core::Core(CoreConfig config, MemoryHierarchy& mem, StallHandler* handler)
+    : config_(config),
+      mem_(mem),
+      handler_(handler ? handler : &default_handler_) {
+  assert(config_.valid() && "invalid core configuration");
+  scoreboard_.resize(config_.scoreboard_window);
+  outstanding_.reserve(config_.mlp_window);
+}
+
+void Core::reset_stats() {
+  stats_ = CoreStats{};
+  stats_base_ = now_;
+}
+
+void Core::prune_outstanding() {
+  std::erase_if(outstanding_, [this](const MemAccessResult& r) {
+    return r.complete <= now_;
+  });
+}
+
+void Core::stall_until(Blocker blocker, StallReason reason) {
+  StallEvent ev;
+  ev.start = now_;
+  ev.data_ready = blocker.ready;
+  ev.commit = blocker.commit;
+  ev.estimate = blocker.estimate;
+  ev.dram = blocker.dram;
+  ev.reason = reason;
+
+  const Cycle resume = std::max(handler_->on_stall(ev), ev.data_ready);
+  const Cycle stall_len = ev.data_ready - ev.start;
+  const Cycle penalty = resume - ev.data_ready;
+
+  if (ev.dram) {
+    ++stats_.stalls_dram;
+    stats_.stall_cycles_dram += stall_len;
+    stats_.dram_stall_hist.add(static_cast<double>(stall_len));
+    // MLP proxy: in-flight DRAM fills when the core blocks on memory (the
+    // blocking fill itself is still outstanding, so >= 1 normally).
+    stats_.outstanding_at_stall.add(
+        static_cast<double>(outstanding_.size()));
+  } else {
+    ++stats_.stalls_other;
+    stats_.stall_cycles_other += stall_len;
+  }
+  if (reason == StallReason::kMlpLimit) ++stats_.mlp_limit_stalls;
+  stats_.penalty_cycles += penalty;
+
+  now_ = resume;
+  slot_ = 0;  // issue restarts at the top of the resume cycle
+}
+
+void Core::run(TraceSource& trace, std::uint64_t max_instrs) {
+  for (std::uint64_t n = 0; n < max_instrs && step(trace); ++n) {
+  }
+}
+
+bool Core::step(TraceSource& trace) {
+  Instr instr;
+  if (!trace.next(instr)) return false;
+  {
+    const InstrId id = next_id_++;
+
+    // 1. Dependence check: does this instruction consume an unreturned load?
+    Blocker& slot = scoreboard_[id % scoreboard_.size()];
+    if (slot.ready != kNoCycle) {
+      if (slot.ready > now_) stall_until(slot, StallReason::kDependence);
+      slot = Blocker{};
+    }
+
+    ++stats_.instrs;
+    ++stats_.instr_by_class[static_cast<std::size_t>(instr.op)];
+
+    switch (instr.op) {
+      case OpClass::kLoad: {
+        // 2. MLP credit: a new load needs a free miss slot before it can
+        // probe the hierarchy (MSHR-full semantics).  A load that merges
+        // into an in-flight fill shares that entry and needs no credit.
+        prune_outstanding();
+        if (outstanding_.size() >= config_.mlp_window &&
+            !mem_.line_in_flight(instr.addr)) {
+          const auto earliest = std::min_element(
+              outstanding_.begin(), outstanding_.end(),
+              [](const MemAccessResult& a, const MemAccessResult& b) {
+                return a.complete < b.complete;
+              });
+          Blocker b;
+          b.ready = earliest->complete;
+          b.commit = earliest->commit;
+          b.estimate = earliest->estimate;
+          b.dram = true;
+          stall_until(b, StallReason::kMlpLimit);
+          prune_outstanding();
+        }
+
+        const MemAccessResult res = mem_.load(instr.addr, now_);
+        if (res.served_by == ServedBy::kDram && !res.merged)
+          outstanding_.push_back(res);
+
+        // 3. Register the consumer's blocker (keep the latest-finishing
+        // producer if several loads feed the same consumer slot).
+        if (instr.dep_dist > 0) {
+          assert(instr.dep_dist < scoreboard_.size() &&
+                 "trace dep_dist exceeds scoreboard window");
+          Blocker& dep =
+              scoreboard_[(id + instr.dep_dist) % scoreboard_.size()];
+          if (dep.ready == kNoCycle || res.complete > dep.ready) {
+            dep.ready = res.complete;
+            dep.commit = res.commit;
+            dep.estimate = res.estimate;
+            dep.dram = res.served_by == ServedBy::kDram;
+          }
+        }
+        advance_slot();
+        break;
+      }
+      case OpClass::kStore:
+        // Retires through an unbounded write buffer: updates memory state
+        // (and thus future latencies) but never blocks issue.
+        mem_.store(instr.addr, now_);
+        advance_slot();
+        break;
+      case OpClass::kDiv:
+        // Unpipelined divider blocks issue for its full latency and flushes
+        // the current issue group.
+        now_ += config_.div_latency;
+        slot_ = 0;
+        break;
+      case OpClass::kMul:
+      case OpClass::kFp:
+      case OpClass::kAlu:
+      case OpClass::kBranch:
+        // Pipelined issue: `issue_width` instructions per cycle; latencies
+        // only matter through load dependences, which the trace encodes.
+        advance_slot();
+        break;
+    }
+  }
+  stats_.cycles = now_ - stats_base_;
+  return true;
+}
+
+}  // namespace mapg

@@ -1,0 +1,116 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace mapg {
+
+bool DramConfig::valid() const {
+  if (channels == 0 || banks_per_channel == 0) return false;
+  if (line_bytes == 0 || !std::has_single_bit(line_bytes)) return false;
+  if (row_bytes < line_bytes || row_bytes % line_bytes != 0) return false;
+  if (t_cl == 0 || t_bl == 0) return false;
+  if (t_refi > 0 && t_rfc >= t_refi) return false;
+  return true;
+}
+
+Dram::Dram(DramConfig config) : config_(config) {
+  assert(config_.valid() && "invalid DRAM configuration");
+  channels_.resize(config_.channels);
+  for (auto& ch : channels_) ch.banks.resize(config_.banks_per_channel);
+}
+
+void Dram::map_address(Addr line_addr, std::uint32_t& channel,
+                       std::uint32_t& bank, std::uint64_t& row) const {
+  // Line-interleave across channels, then column within the row, then bank:
+  // sequential lines hit the same row (per channel) until the row is
+  // exhausted, which is what gives streaming workloads row-buffer locality.
+  std::uint64_t line_no = line_addr / config_.line_bytes;
+  channel = static_cast<std::uint32_t>(line_no % config_.channels);
+  line_no /= config_.channels;
+  line_no /= config_.lines_per_row();  // discard column-in-row bits
+  bank = static_cast<std::uint32_t>(line_no % config_.banks_per_channel);
+  row = line_no / config_.banks_per_channel;
+}
+
+Cycle Dram::skip_refresh(Cycle start) {
+  if (config_.t_refi == 0) return start;
+  const Cycle window_start = (start / config_.t_refi) * config_.t_refi;
+  if (start < window_start + config_.t_rfc) {
+    ++stats_.refresh_delays;
+    return window_start + config_.t_rfc;
+  }
+  return start;
+}
+
+Cycle Dram::bank_ready(std::uint32_t channel, std::uint32_t bank) const {
+  return channels_.at(channel).banks.at(bank).ready_at;
+}
+
+DramResult Dram::access(Addr line_addr, bool is_write, Cycle now) {
+  std::uint32_t ch_idx = 0, bank_idx = 0;
+  std::uint64_t row = 0;
+  map_address(line_addr, ch_idx, bank_idx, row);
+  Channel& ch = channels_[ch_idx];
+  Bank& bank = ch.banks[bank_idx];
+
+  DramResult res;
+  res.channel = ch_idx;
+  res.bank = bank_idx;
+  res.estimate = now + config_.estimate_latency();
+
+  // Command dispatch can begin once the bank has finished its prior work and
+  // any refresh in progress has completed.
+  Cycle start = skip_refresh(std::max(now, bank.ready_at));
+
+  Cycle col_ready;  // earliest cycle the column command may issue
+  if (bank.row_open && bank.open_row == row) {
+    res.outcome = RowBufferOutcome::kHit;
+    ++stats_.row_hits;
+    col_ready = start;
+  } else if (!bank.row_open) {
+    res.outcome = RowBufferOutcome::kClosed;
+    ++stats_.row_closed;
+    const Cycle act = start;
+    col_ready = act + config_.t_rcd;
+    bank.activated_at = act;
+    bank.row_open = true;
+    bank.open_row = row;
+  } else {
+    res.outcome = RowBufferOutcome::kConflict;
+    ++stats_.row_conflicts;
+    // Precharge may not begin before tRAS has elapsed since activation.
+    const Cycle pre = std::max(start, bank.activated_at + config_.t_ras);
+    const Cycle act = pre + config_.t_rp;
+    col_ready = act + config_.t_rcd;
+    bank.activated_at = act;
+    bank.open_row = row;
+  }
+
+  // Data-bus contention: the burst [col + tCL, col + tCL + tBL) must not
+  // overlap an earlier burst on this channel.
+  Cycle col = col_ready;
+  if (col + config_.t_cl < ch.bus_free_at)
+    col = ch.bus_free_at - config_.t_cl;
+  const Cycle data_start = col + config_.t_cl;
+  const Cycle data_end = data_start + config_.t_bl;
+  ch.bus_free_at = data_end;
+
+  // The bank can dispatch its next command once this burst's column phase is
+  // done (approximates tCCD/tBL spacing between column commands).
+  bank.ready_at = col + config_.t_bl;
+
+  res.commit = col;
+  res.completion = data_end;
+
+  if (is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+    stats_.read_latency.add(static_cast<double>(data_end - now));
+  }
+  return res;
+}
+
+}  // namespace mapg

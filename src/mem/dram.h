@@ -1,0 +1,123 @@
+// DDR3-class main-memory timing model.
+//
+// This is the substrate MAPG's early-wakeup mechanism depends on: once the
+// controller issues the column command for a request, the data-return cycle
+// is deterministic (tCL + burst + return path).  The model therefore reports,
+// for every request, three timestamps:
+//   estimate   -- the controller's latency estimate at enqueue time,
+//   commit     -- the cycle at which the exact return time becomes known
+//                 (column-command issue),
+//   completion -- the cycle data leaves the DRAM data bus.
+// The policy layer is only ever allowed to act on `estimate` before `commit`
+// and on `completion` after it; the clairvoyant Oracle baseline may peek.
+//
+// Modeled: per-bank row buffers (open-page), activate/precharge/CAS timing,
+// tRAS row-occupancy, per-channel data-bus contention, periodic refresh
+// (tREFI/tRFC).  Simplifications (documented in DESIGN.md): in-order request
+// service per arrival (FR-FCFS reordering is approximated by the row-buffer
+// state it would produce on a single in-order core), single rank per channel,
+// and refresh checked at request start only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace mapg {
+
+/// All timing in *core* cycles.  Defaults: DDR3-1600 (tCK 1.25 ns, CL 11)
+/// seen from a 3 GHz core.
+struct DramConfig {
+  std::uint32_t channels = 2;
+  std::uint32_t banks_per_channel = 8;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t row_bytes = 8192;  ///< open-page row-buffer size
+
+  Cycle t_rcd = 41;   ///< ACT -> column command
+  Cycle t_rp = 41;    ///< PRE -> ACT
+  Cycle t_cl = 41;    ///< column command -> first data beat
+  Cycle t_bl = 15;    ///< burst duration on the data bus (BL8)
+  Cycle t_ras = 105;  ///< ACT -> earliest PRE
+  Cycle t_rfc = 480;  ///< refresh duration
+  Cycle t_refi = 23400;  ///< refresh interval
+
+  /// Typical no-contention latency quoted by the controller as its enqueue
+  /// estimate for requests whose service time is not yet committed.
+  Cycle estimate_latency() const { return t_rcd + t_cl + t_bl; }
+
+  std::uint32_t lines_per_row() const { return row_bytes / line_bytes; }
+  bool valid() const;
+};
+
+enum class RowBufferOutcome : std::uint8_t {
+  kHit,       ///< open row matched
+  kClosed,    ///< bank had no open row
+  kConflict,  ///< different row open; precharge required
+};
+
+struct DramResult {
+  Cycle completion = 0;  ///< last data beat has left the bus
+  Cycle commit = 0;      ///< column-command issue: return time now exact
+  Cycle estimate = 0;    ///< controller estimate at enqueue
+  RowBufferOutcome outcome = RowBufferOutcome::kClosed;
+  std::uint32_t channel = 0;
+  std::uint32_t bank = 0;
+};
+
+struct DramStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_closed = 0;
+  std::uint64_t row_conflicts = 0;
+  std::uint64_t refresh_delays = 0;
+  RunningStat read_latency;  ///< enqueue -> completion, reads only
+
+  double row_hit_rate() const {
+    const std::uint64_t n = row_hits + row_closed + row_conflicts;
+    return n ? static_cast<double>(row_hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+class Dram {
+ public:
+  explicit Dram(DramConfig config);
+
+  /// Service one line-granular request arriving at the controller at `now`.
+  /// `now` must be monotonically non-decreasing across calls.
+  DramResult access(Addr line_addr, bool is_write, Cycle now);
+
+  /// Earliest cycle at which the controller could accept and serve a request
+  /// to an idle bank (used by tests and the controller occupancy stats).
+  Cycle bank_ready(std::uint32_t channel, std::uint32_t bank) const;
+
+  const DramConfig& config() const { return config_; }
+  const DramStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DramStats{}; }
+
+  /// Decompose an address for tests.
+  void map_address(Addr line_addr, std::uint32_t& channel, std::uint32_t& bank,
+                   std::uint64_t& row) const;
+
+ private:
+  struct Bank {
+    std::uint64_t open_row = ~0ULL;
+    bool row_open = false;
+    Cycle ready_at = 0;     ///< earliest next command dispatch
+    Cycle activated_at = 0; ///< for the tRAS constraint
+  };
+  struct Channel {
+    std::vector<Bank> banks;
+    Cycle bus_free_at = 0;
+  };
+
+  Cycle skip_refresh(Cycle start);
+
+  DramConfig config_;
+  std::vector<Channel> channels_;
+  DramStats stats_;
+};
+
+}  // namespace mapg

@@ -1,0 +1,172 @@
+#include "multicore/multicore.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "trace/trace_io.h"
+
+namespace mapg {
+namespace {
+
+/// Everything one core needs, bundled for the interleaving scheduler.
+struct Slot {
+  std::string workload;
+  std::unique_ptr<TraceGenerator> gen;
+  std::unique_ptr<OffsetTraceSource> trace;
+  std::unique_ptr<MemoryHierarchy> mem;
+  std::unique_ptr<PgPolicy> policy;
+  std::unique_ptr<PgController> controller;
+  std::unique_ptr<Core> core;
+  std::uint64_t executed = 0;
+  bool warmed = false;     ///< crossed the warmup instruction count
+  bool done = false;       ///< crossed warmup + measurement; stats frozen
+  bool exhausted = false;  ///< trace ended; core no longer schedulable
+  // Stats frozen at the measurement crossing point.
+  CoreStats final_core;
+  HierarchyStats final_hier;
+  GatingStats final_gating;
+};
+
+}  // namespace
+
+MulticoreSim::MulticoreSim(MulticoreConfig config)
+    : config_(std::move(config)) {
+  assert(config_.num_cores > 0 && "need at least one core");
+  assert(config_.mem.valid() && "invalid hierarchy configuration");
+}
+
+MulticoreResult MulticoreSim::run(
+    const std::vector<WorkloadProfile>& workloads,
+    const std::string& policy_spec) const {
+  if (workloads.empty())
+    throw std::invalid_argument("need at least one workload profile");
+  for (const auto& w : workloads) {
+    if (w.working_set_bytes > config_.core_addr_stride)
+      throw std::invalid_argument("workload '" + w.name +
+                                  "' exceeds the per-core address stride");
+  }
+
+  const PgCircuit circuit(config_.pg, config_.tech);
+  const PolicyContext ctx = PgController::make_context(circuit);
+
+  Cache shared_l2(config_.mem.l2);
+  Dram shared_dram(config_.mem.dram);
+  WakeArbiter arbiter(config_.wake_arbiter_slots);
+  WakeArbiter* arbiter_ptr =
+      config_.wake_arbiter_slots > 0 ? &arbiter : nullptr;
+
+  std::vector<Slot> slots(config_.num_cores);
+  for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
+    Slot& s = slots[i];
+    const WorkloadProfile& w = workloads[i % workloads.size()];
+    s.workload = w.name;
+    // Distinct run seeds: cores running the same profile still draw
+    // independent traces.
+    s.gen = std::make_unique<TraceGenerator>(w, config_.run_seed + i);
+    s.trace = std::make_unique<OffsetTraceSource>(
+        *s.gen, config_.core_addr_stride * i);
+    s.mem = std::make_unique<MemoryHierarchy>(config_.mem, shared_l2,
+                                              shared_dram);
+    s.policy = make_policy(policy_spec, ctx);
+    if (!s.policy)
+      throw std::invalid_argument("unknown policy spec: " + policy_spec);
+    s.controller =
+        std::make_unique<PgController>(*s.policy, circuit, arbiter_ptr);
+    s.core =
+        std::make_unique<Core>(config_.core, *s.mem, s.controller.get());
+  }
+
+  // Interleaved execution, always stepping the core with the smallest local
+  // clock so shared-L2/DRAM accesses stay in globally non-decreasing time
+  // order.  Cores are NEVER paused at instruction barriers: a core that
+  // crosses its warmup count resets its own statistics mid-run, and one
+  // that crosses its measurement quota freezes a snapshot but keeps running
+  // (loading the shared memory system realistically) until every core has
+  // finished — the standard multiprogrammed-mix methodology.  Pausing fast
+  // cores at a barrier would desynchronize core clocks and make their later
+  // requests queue behind shared-resource state from the "future".
+  const std::uint64_t warm_target = config_.warmup_instructions;
+  const std::uint64_t total_target =
+      config_.warmup_instructions + config_.instructions_per_core;
+  std::uint32_t warmed_count = 0;
+  std::uint32_t done_count = 0;
+
+  auto warm_slot = [&](Slot& s) {
+    s.warmed = true;
+    s.core->reset_stats();
+    s.mem->reset_stats();  // private L1 + own counters (L2/DRAM shared)
+    s.controller->reset_stats();
+    if (++warmed_count == config_.num_cores) {
+      // Shared statistics reset once, when the last core exits warmup (an
+      // aggregate approximation: earlier cores' first measured requests are
+      // not in the shared counters).
+      shared_l2.reset_stats();
+      shared_dram.reset_stats();
+      arbiter.reset_stats();
+    }
+  };
+  auto finish_slot = [&](Slot& s) {
+    s.done = true;
+    s.final_core = s.core->stats();
+    s.final_hier = s.mem->stats();
+    s.final_gating = s.controller->stats();
+    ++done_count;
+  };
+
+  if (warm_target == 0)
+    for (auto& s : slots) warm_slot(s);
+
+  while (done_count < config_.num_cores) {
+    Slot* next = nullptr;
+    for (auto& s : slots) {
+      if (s.exhausted) continue;
+      if (next == nullptr || s.core->now() < next->core->now()) next = &s;
+    }
+    if (next == nullptr) break;  // every trace exhausted
+    if (!next->core->step(*next->trace)) {
+      next->exhausted = true;  // only finite traces end; generators do not
+      if (!next->done) finish_slot(*next);
+      continue;
+    }
+    ++next->executed;
+    if (!next->warmed && next->executed >= warm_target) warm_slot(*next);
+    if (!next->done && next->executed >= total_target) finish_slot(*next);
+  }
+
+  MulticoreResult result;
+  result.policy = slots.front().policy->name();
+  result.shared_l2 = shared_l2.stats();
+  result.dram = shared_dram.stats();
+
+  // Per-core energy uses a tech variant with the shared components zeroed,
+  // so only the private L1 remains in per-core ungated leakage; the shared
+  // L2 + infrastructure leakage is charged once, over the makespan.
+  TechParams per_core_tech = config_.tech;
+  per_core_tech.l2_leakage_w = 0;
+  per_core_tech.other_leakage_w = 0;
+
+  for (auto& s : slots) {
+    CoreSlotResult slot_result;
+    slot_result.workload = s.workload;
+    slot_result.core = s.final_core;
+    slot_result.hier = s.final_hier;
+    slot_result.gating = s.final_gating;
+    slot_result.energy =
+        compute_energy(per_core_tech, &circuit, slot_result.core,
+                       slot_result.gating.activity);
+    result.makespan = std::max(result.makespan, slot_result.core.cycles);
+    result.cores.push_back(std::move(slot_result));
+  }
+  result.shared_leak_j =
+      (config_.tech.l2_leakage_w + config_.tech.other_leakage_w) *
+      config_.tech.cycles_to_seconds(static_cast<double>(result.makespan));
+  result.wake_delayed_grants = arbiter.delayed_grants();
+  result.wake_delay_cycles = arbiter.delay_cycles();
+  result.dram_j =
+      compute_dram_energy_j(result.dram, config_.mem.dram, config_.tech,
+                            config_.dram_energy, result.makespan);
+  return result;
+}
+
+}  // namespace mapg

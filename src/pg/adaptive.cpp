@@ -1,0 +1,22 @@
+#include "pg/adaptive.h"
+
+#include <cmath>
+
+namespace mapg {
+
+bool HistoryMapgPolicy::should_gate(const StallEvent& ev) {
+  if (!ev.dram) return false;
+  const Cycle threshold =
+      ctx_.entry_latency + ctx_.wakeup_latency +
+      static_cast<Cycle>(std::llround(
+          opt_.alpha * static_cast<double>(ctx_.break_even)));
+  return prediction_ >= static_cast<double>(threshold);
+}
+
+void HistoryMapgPolicy::observe(const StallEvent& ev) {
+  if (!ev.dram) return;
+  const double len = static_cast<double>(ev.length());
+  prediction_ += opt_.ewma_weight * (len - prediction_);
+}
+
+}  // namespace mapg

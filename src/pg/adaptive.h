@@ -1,0 +1,81 @@
+// History-based adaptive MAPG (extension feature).
+//
+// Plain MAPG relies on the memory controller exporting a residual-latency
+// estimate at stall onset.  Some integrations cannot provide that signal
+// (e.g. an off-package controller).  This variant replaces the estimate with
+// an exponentially weighted moving average (EWMA) of recently observed
+// DRAM-stall lengths, learned online through the PgPolicy::observe feedback
+// hook: gate when the *predicted* stall length clears the profitability
+// threshold.  Early wakeup still uses the commit-point signal (a wake wire
+// is far cheaper to route than a latency estimate bus).
+#pragma once
+
+#include <cstdint>
+
+#include "pg/policies.h"
+#include "pg/policy.h"
+
+namespace mapg {
+
+class HistoryMapgPolicy final : public PgPolicy {
+ public:
+  struct Options {
+    double ewma_weight = 0.125;  ///< weight of the newest observation
+    double alpha = 1.0;          ///< break-even margin scale (as MapgPolicy)
+    /// Optimistic start: assume DRAM stalls are profitable until history
+    /// proves otherwise (a pessimistic start of 0 would never bootstrap,
+    /// since the policy only observes stalls — gated or not — via observe).
+    Cycle initial_prediction = 200;
+  };
+
+  HistoryMapgPolicy(const PolicyContext& ctx, Options opt)
+      : PgPolicy(ctx), opt_(opt),
+        prediction_(static_cast<double>(opt.initial_prediction)) {}
+
+  std::string name() const override { return "mapg-history"; }
+  bool should_gate(const StallEvent& ev) override;
+  WakeMode wake_mode() const override { return WakeMode::kEarly; }
+  void observe(const StallEvent& ev) override;
+
+  /// Current learned stall-length prediction (cycles).  Exposed for tests.
+  double prediction() const { return prediction_; }
+
+ private:
+  Options opt_;
+  double prediction_;
+};
+
+/// Hybrid estimate+history MAPG (extension): gate only when BOTH signals
+/// clear the profitability threshold.
+///
+/// The two pure policies fail in opposite directions (R-Tab.6): the memory
+/// controller's estimate is the no-contention closed-row latency, biased
+/// HIGH on row-hit-heavy phases (stateless MAPG gates unprofitably there),
+/// while the EWMA predictor is unbiased in steady state but stale across
+/// phase changes.  Requiring agreement blocks the estimate's bias with the
+/// history veto and blocks stale-history gating with the estimate veto, at
+/// the cost of missing some profitable stalls right after a switch into a
+/// long-stall phase.
+class HybridMapgPolicy final : public PgPolicy {
+ public:
+  HybridMapgPolicy(const PolicyContext& ctx,
+                   HistoryMapgPolicy::Options opt = {})
+      : PgPolicy(ctx), estimate_rule_(ctx, MapgPolicy::Options{}),
+        history_(ctx, opt) {}
+
+  std::string name() const override { return "mapg-hybrid"; }
+  bool should_gate(const StallEvent& ev) override {
+    // Both vetoes: the estimate-driven rule AND the learned prediction.
+    return estimate_rule_.should_gate(ev) && history_.should_gate(ev);
+  }
+  WakeMode wake_mode() const override { return WakeMode::kEarly; }
+  void observe(const StallEvent& ev) override { history_.observe(ev); }
+
+  double prediction() const { return history_.prediction(); }
+
+ private:
+  MapgPolicy estimate_rule_;  ///< stock conservative MAPG decision
+  HistoryMapgPolicy history_;
+};
+
+}  // namespace mapg

@@ -1,0 +1,78 @@
+#include "pg/factory.h"
+
+#include <cstdlib>
+
+#include "pg/adaptive.h"
+#include "pg/multimode.h"
+
+namespace mapg {
+namespace {
+
+/// Parse "key=value" after "name:"; returns value or dflt.
+double spec_param(const std::string& spec, const std::string& key,
+                  double dflt) {
+  const auto pos = spec.find(key + "=");
+  if (pos == std::string::npos) return dflt;
+  return std::strtod(spec.c_str() + pos + key.size() + 1, nullptr);
+}
+
+}  // namespace
+
+std::unique_ptr<PgPolicy> make_policy(const std::string& spec,
+                                      const PolicyContext& ctx) {
+  if (spec == "none" || spec == "no-gating")
+    return std::make_unique<NoGatingPolicy>(ctx);
+
+  if (spec.rfind("idle-timeout", 0) == 0) {
+    Cycle timeout = 64;
+    const auto colon = spec.find(':');
+    if (colon != std::string::npos)
+      timeout = std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+    const bool early = spec.find("early") != std::string::npos;
+    return std::make_unique<IdleTimeoutPolicy>(ctx, timeout, early);
+  }
+
+  if (spec == "oracle") return std::make_unique<OraclePolicy>(ctx);
+
+  if (spec == "mapg-multimode")
+    return std::make_unique<MultiModeMapgPolicy>(ctx);
+
+  if (spec.rfind("mapg-hybrid", 0) == 0) {
+    HistoryMapgPolicy::Options opt;
+    opt.ewma_weight = spec_param(spec, "ewma", 0.125);
+    return std::make_unique<HybridMapgPolicy>(ctx, opt);
+  }
+
+  if (spec.rfind("mapg-history", 0) == 0) {
+    HistoryMapgPolicy::Options opt;
+    opt.alpha = spec_param(spec, "alpha", 1.0);
+    opt.ewma_weight = spec_param(spec, "ewma", 0.125);
+    return std::make_unique<HistoryMapgPolicy>(ctx, opt);
+  }
+
+  if (spec.rfind("mapg", 0) == 0) {
+    MapgPolicy::Options opt;
+    opt.alpha = spec_param(spec, "alpha", 1.0);
+    if (spec.find("aggressive") != std::string::npos) opt.aggressive = true;
+    if (spec.find("noearly") != std::string::npos) opt.early_wake = false;
+    if (spec.find("unfiltered") != std::string::npos) opt.dram_only = false;
+    return std::make_unique<MapgPolicy>(ctx, opt);
+  }
+
+  return nullptr;
+}
+
+std::vector<std::string> standard_policy_specs() {
+  return {"none", "idle-timeout:64", "oracle", "mapg", "mapg-aggressive"};
+}
+
+std::vector<std::string> ablation_policy_specs() {
+  return {"none",          "oracle",
+          "mapg",          "mapg-aggressive",
+          "mapg-noearly",  "mapg-unfiltered",
+          "mapg-history",  "mapg-hybrid",
+          "mapg-multimode",
+          "idle-timeout:64", "idle-timeout-early:64"};
+}
+
+}  // namespace mapg

@@ -1,0 +1,34 @@
+// Policy construction from textual specs, used by examples and benches:
+//   "none"                      NoGatingPolicy
+//   "idle-timeout:<N>"          IdleTimeoutPolicy with an N-cycle timeout
+//   "oracle"                    OraclePolicy
+//   "mapg"                      MapgPolicy, conservative defaults
+//   "mapg:alpha=<f>"            conservative with a scaled margin
+//   "mapg-aggressive"           gate on every DRAM stall
+//   "mapg-noearly"              ablation: reactive wakeup
+//   "mapg-unfiltered"           ablation: gate on every stall, even non-DRAM
+//   "mapg-history[:ewma=<f>]"   EWMA stall predictor (no MC estimate bus)
+//   "mapg-hybrid[:ewma=<f>]"    estimate AND history must agree
+//   "mapg-multimode"            per-stall light/deep sleep selection
+//   "idle-timeout-early:<N>"    timeout entry + MC-initiated wakeup
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pg/policies.h"
+
+namespace mapg {
+
+/// Returns nullptr on an unrecognized spec.
+std::unique_ptr<PgPolicy> make_policy(const std::string& spec,
+                                      const PolicyContext& ctx);
+
+/// The policy set used by the headline comparison (R-Tab.1).
+std::vector<std::string> standard_policy_specs();
+
+/// The full set including ablation variants (R-Tab.3).
+std::vector<std::string> ablation_policy_specs();
+
+}  // namespace mapg

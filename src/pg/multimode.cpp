@@ -1,0 +1,48 @@
+#include "pg/multimode.h"
+
+namespace mapg {
+
+double MultiModeMapgPolicy::expected_net(Cycle residual,
+                                         SleepMode mode) const {
+  // Net energy (in deep-rate cycle units): rate * gated_time - overhead,
+  // where overhead = rate * BET by definition of the break-even time and
+  // gated_time = residual - entry - wakeup (clamped at zero: the overhead
+  // is paid even when nothing is gated).
+  const double rate =
+      mode == SleepMode::kDeep ? 1.0 : ctx_.light_save_frac;
+  const Cycle wake = mode == SleepMode::kDeep ? ctx_.wakeup_latency
+                                              : ctx_.light_wakeup_latency;
+  const Cycle bet = mode == SleepMode::kDeep ? ctx_.break_even
+                                             : ctx_.light_break_even;
+  const Cycle gated =
+      cycle_sub_sat(residual, ctx_.entry_latency + wake);
+  return rate * (static_cast<double>(gated) - static_cast<double>(bet));
+}
+
+bool MultiModeMapgPolicy::pick(const StallEvent& ev,
+                               SleepMode& mode_out) const {
+  if (!ev.dram) return false;
+  if (ctx_.light_save_frac <= 0) {  // platform has no light mode
+    mode_out = SleepMode::kDeep;
+    return expected_net(known_residual(ev), SleepMode::kDeep) > 0;
+  }
+  const Cycle residual = known_residual(ev);
+  const double net_deep = expected_net(residual, SleepMode::kDeep);
+  const double net_light = expected_net(residual, SleepMode::kLight);
+  if (net_deep <= 0 && net_light <= 0) return false;
+  mode_out = net_deep >= net_light ? SleepMode::kDeep : SleepMode::kLight;
+  return true;
+}
+
+bool MultiModeMapgPolicy::should_gate(const StallEvent& ev) {
+  SleepMode mode;
+  return pick(ev, mode);
+}
+
+SleepMode MultiModeMapgPolicy::sleep_mode(const StallEvent& ev) {
+  SleepMode mode = SleepMode::kDeep;
+  pick(ev, mode);
+  return mode;
+}
+
+}  // namespace mapg

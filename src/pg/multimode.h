@@ -1,0 +1,36 @@
+// Multi-mode MAPG (extension feature): per-stall sleep-depth selection.
+//
+// Deep sleep has the higher savings *rate* but the larger entry cost, so
+// there is a residual-length band — roughly between the light and deep
+// profitability horizons — where the intermediate (light) sleep state nets
+// more energy.  This policy evaluates the expected net savings of both
+// modes against the known/estimated residual and picks the best (or
+// declines).  With fast memory (short stalls), light mode recovers savings
+// that deep-only MAPG must forgo; with slow memory it converges to plain
+// MAPG.  R-Tab.4 quantifies this across DRAM speeds.
+#pragma once
+
+#include "pg/policy.h"
+
+namespace mapg {
+
+class MultiModeMapgPolicy final : public PgPolicy {
+ public:
+  explicit MultiModeMapgPolicy(const PolicyContext& ctx) : PgPolicy(ctx) {}
+
+  std::string name() const override { return "mapg-multimode"; }
+  bool should_gate(const StallEvent& ev) override;
+  WakeMode wake_mode() const override { return WakeMode::kEarly; }
+  SleepMode sleep_mode(const StallEvent& ev) override;
+
+  /// Expected net savings of gating a stall of residual length `r` in
+  /// `mode`, in deep-savings-rate cycle units (i.e. divided by the deep
+  /// per-cycle savings power).  Negative = a loss.  Exposed for tests.
+  double expected_net(Cycle residual, SleepMode mode) const;
+
+ private:
+  /// Best mode for this stall, or no value if neither mode profits.
+  bool pick(const StallEvent& ev, SleepMode& mode_out) const;
+};
+
+}  // namespace mapg

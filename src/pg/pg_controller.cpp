@@ -1,0 +1,66 @@
+#include "pg/pg_controller.h"
+
+#include <algorithm>
+
+namespace mapg {
+
+Cycle PgController::on_stall(const StallEvent& ev) {
+  ++stats_.eligible_stalls;
+  // Feedback for adaptive policies: the controller timestamps stall onset
+  // and the data-arrival event, so the true length is always observable.
+  policy_.observe(ev);
+
+  if (!policy_.should_gate(ev)) {
+    ++stats_.skipped_events;
+    return ev.data_ready;
+  }
+
+  const Cycle gate_start = cycle_add(ev.start, policy_.gate_delay());
+  if (gate_start >= ev.data_ready) {
+    // The idle-timeout wait consumed the whole stall: no transition happens.
+    ++stats_.timeout_missed;
+    return ev.data_ready;
+  }
+
+  const SleepMode mode = policy_.sleep_mode(ev);
+  const Cycle entry_lat = circuit_.entry_latency_cycles();
+  const Cycle wake_lat = circuit_.wakeup_latency_cycles(mode);
+  const Cycle entry_end = gate_start + entry_lat;
+
+  Cycle wake_start = 0;
+  switch (policy_.wake_mode()) {
+    case WakeMode::kOracle:
+      wake_start = cycle_sub_sat(ev.data_ready, wake_lat);
+      break;
+    case WakeMode::kEarly:
+      // The MC can schedule the wakeup `wake_lat` ahead of the return, but
+      // not before the return time is exactly known (the commit point).
+      wake_start = std::max(ev.commit, cycle_sub_sat(ev.data_ready, wake_lat));
+      break;
+    case WakeMode::kReactive:
+      wake_start = ev.data_ready;
+      break;
+  }
+  // The sleep sequence is not interruptible: wakeup waits for entry to end.
+  wake_start = std::max(wake_start, entry_end);
+
+  // Shared di/dt budget: the wakeup window may be postponed until a slot
+  // frees up (the core simply stays gated while it waits).
+  if (arbiter_ != nullptr)
+    wake_start = arbiter_->reserve(wake_start, wake_lat, ev.start);
+
+  const Cycle resume = std::max(ev.data_ready, wake_start + wake_lat);
+  const Cycle gated = wake_start - entry_end;
+
+  ++stats_.gated_events;
+  stats_.activity.add_transition(mode, gated, entry_lat, wake_lat);
+  stats_.penalty_cycles += resume - ev.data_ready;
+  stats_.gated_len_hist.add(static_cast<double>(gated));
+
+  if (ev.data_ready <= entry_end) ++stats_.aborted_entries;
+  if (gated < circuit_.break_even_cycles(mode)) ++stats_.unprofitable_events;
+
+  return resume;
+}
+
+}  // namespace mapg

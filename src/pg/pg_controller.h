@@ -1,0 +1,82 @@
+// PgController: the one place where gating decisions become cycles.
+//
+// Implements the core's StallHandler.  For each full-core stall it asks the
+// policy for a decision, then applies the circuit timing uniformly:
+//
+//   stall.start                                   data_ready       resume
+//     |---(gate_delay)---|--entry--|----gated----|--wakeup--|........|
+//                     gate_start  entry_end   wake_start
+//
+//   wake_start = data_ready - wakeup        (oracle)
+//              = max(commit, data_ready - wakeup)  (early / MAPG)
+//              = data_ready                 (reactive)
+//   and never before entry_end.
+//   resume     = max(data_ready, wake_start + wakeup).
+//
+// Everything after the decision — degenerate gating when the data arrives
+// during entry, penalties when the wakeup cannot be hidden, break-even
+// bookkeeping — is handled here so all policies are scored identically.
+#pragma once
+
+#include "common/stats.h"
+#include "cpu/core.h"
+#include "pg/policy.h"
+#include "pg/wake_arbiter.h"
+#include "power/energy_model.h"
+#include "power/pg_circuit.h"
+
+namespace mapg {
+
+struct GatingStats {
+  GatingActivity activity;
+  std::uint64_t eligible_stalls = 0;   ///< stalls presented to the policy
+  std::uint64_t gated_events = 0;      ///< decisions that led to a transition
+  std::uint64_t skipped_events = 0;    ///< policy declined
+  std::uint64_t timeout_missed = 0;    ///< gate_delay outlasted the stall
+  std::uint64_t aborted_entries = 0;   ///< data arrived by end of entry
+  std::uint64_t unprofitable_events = 0;  ///< gated interval < break-even
+  std::uint64_t penalty_cycles = 0;    ///< resume beyond data_ready, summed
+  Histogram gated_len_hist{0.0, 1024.0, 64};
+
+  double gate_rate() const {
+    return eligible_stalls ? static_cast<double>(gated_events) /
+                                 static_cast<double>(eligible_stalls)
+                           : 0.0;
+  }
+};
+
+class PgController final : public StallHandler {
+ public:
+  /// `arbiter` (optional, shared across cores) rations concurrent wakeup
+  /// windows against the package di/dt budget; null = unlimited.
+  PgController(PgPolicy& policy, const PgCircuit& circuit,
+               WakeArbiter* arbiter = nullptr)
+      : policy_(policy), circuit_(circuit), arbiter_(arbiter) {}
+
+  Cycle on_stall(const StallEvent& ev) override;
+
+  const GatingStats& stats() const { return stats_; }
+  const GatingActivity& activity() const { return stats_.activity; }
+  void reset_stats() { stats_ = GatingStats{}; }
+
+  /// Derive the PolicyContext a policy should be constructed with so its
+  /// thresholds match this circuit.
+  static PolicyContext make_context(const PgCircuit& circuit) {
+    return PolicyContext{
+        .entry_latency = circuit.entry_latency_cycles(),
+        .wakeup_latency = circuit.wakeup_latency_cycles(),
+        .break_even = circuit.break_even_cycles(),
+        .light_wakeup_latency =
+            circuit.wakeup_latency_cycles(SleepMode::kLight),
+        .light_break_even = circuit.break_even_cycles(SleepMode::kLight),
+        .light_save_frac = circuit.save_fraction(SleepMode::kLight)};
+  }
+
+ private:
+  PgPolicy& policy_;
+  const PgCircuit& circuit_;
+  WakeArbiter* arbiter_;
+  GatingStats stats_;
+};
+
+}  // namespace mapg

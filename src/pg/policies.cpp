@@ -1,0 +1,27 @@
+#include "pg/policies.h"
+
+#include <cmath>
+
+namespace mapg {
+
+std::string MapgPolicy::name() const {
+  std::string n = "mapg";
+  if (opt_.aggressive) n += "-aggressive";
+  if (!opt_.early_wake) n += "-noearly";
+  if (!opt_.dram_only) n += "-unfiltered";
+  if (opt_.alpha != 1.0 && !opt_.aggressive)
+    n += "-a" + std::to_string(opt_.alpha).substr(0, 4);
+  return n;
+}
+
+bool MapgPolicy::should_gate(const StallEvent& ev) {
+  if (opt_.dram_only && !ev.dram) return false;
+  if (opt_.aggressive) return true;
+  const Cycle threshold =
+      ctx_.entry_latency + ctx_.wakeup_latency +
+      static_cast<Cycle>(std::llround(
+          opt_.alpha * static_cast<double>(ctx_.break_even)));
+  return known_residual(ev) >= threshold;
+}
+
+}  // namespace mapg

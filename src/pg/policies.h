@@ -1,0 +1,94 @@
+// Concrete power-gating policies: the MAPG contribution, its ablations, and
+// the reconstructed baselines (see DESIGN.md §2).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "pg/policy.h"
+
+namespace mapg {
+
+/// Baseline: never gate.  Defines the energy/runtime reference point.
+class NoGatingPolicy final : public PgPolicy {
+ public:
+  using PgPolicy::PgPolicy;
+  std::string name() const override { return "no-gating"; }
+  bool should_gate(const StallEvent&) override { return false; }
+  WakeMode wake_mode() const override { return WakeMode::kReactive; }
+};
+
+/// Conventional idle-driven PG: after `timeout` consecutive idle cycles the
+/// core gates, with no knowledge of why it is idle or when work returns;
+/// wakeup is reactive (data arrival starts the wakeup, paying its latency).
+///
+/// The `early_wake` variant ("idle-timeout-early") keeps the blind timeout
+/// entry but borrows MAPG's memory-controller-initiated wakeup.  It
+/// decomposes MAPG's advantage into its two mechanisms: immediate
+/// cause-driven entry vs. schedulable wakeup (R-Tab.3).
+class IdleTimeoutPolicy final : public PgPolicy {
+ public:
+  IdleTimeoutPolicy(const PolicyContext& ctx, Cycle timeout,
+                    bool early_wake = false)
+      : PgPolicy(ctx), timeout_(timeout), early_wake_(early_wake) {}
+
+  std::string name() const override {
+    return std::string("idle-timeout-") + (early_wake_ ? "early-" : "") +
+           std::to_string(timeout_);
+  }
+  bool should_gate(const StallEvent&) override { return true; }
+  WakeMode wake_mode() const override {
+    return early_wake_ ? WakeMode::kEarly : WakeMode::kReactive;
+  }
+  Cycle gate_delay() const override { return timeout_; }
+
+ private:
+  Cycle timeout_;
+  bool early_wake_;
+};
+
+/// Clairvoyant upper bound: knows the true stall length, gates exactly the
+/// profitable stalls, and lands the wakeup on the data-arrival cycle.
+class OraclePolicy final : public PgPolicy {
+ public:
+  using PgPolicy::PgPolicy;
+  std::string name() const override { return "oracle"; }
+  bool should_gate(const StallEvent& ev) override {
+    // Profitable iff the gated portion (length minus entry and wakeup)
+    // exceeds the break-even time.
+    const Cycle len = ev.length();  // clairvoyant access is the point here
+    return len >= ctx_.entry_latency + ctx_.wakeup_latency + ctx_.break_even;
+  }
+  WakeMode wake_mode() const override { return WakeMode::kOracle; }
+};
+
+/// MAPG: gate on full-core DRAM stalls whose *known or estimated* residual
+/// clears the profitability threshold; wake early via the memory controller.
+///
+/// `alpha` scales the break-even margin in the threshold
+///   residual >= entry + wakeup + alpha * BET
+/// (alpha > 1 gates more conservatively, alpha < 1 more eagerly).
+class MapgPolicy final : public PgPolicy {
+ public:
+  struct Options {
+    double alpha = 1.0;
+    bool aggressive = false;   ///< gate on ANY dram stall (skip threshold)
+    bool early_wake = true;    ///< ablation: false = reactive wakeup
+    bool dram_only = true;     ///< ablation: false = gate on every stall
+  };
+
+  MapgPolicy(const PolicyContext& ctx, Options opt)
+      : PgPolicy(ctx), opt_(opt) {}
+
+  std::string name() const override;
+  bool should_gate(const StallEvent& ev) override;
+  WakeMode wake_mode() const override {
+    return opt_.early_wake ? WakeMode::kEarly : WakeMode::kReactive;
+  }
+  const Options& options() const { return opt_; }
+
+ private:
+  Options opt_;
+};
+
+}  // namespace mapg

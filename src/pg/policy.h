@@ -1,0 +1,87 @@
+// Power-gating policy interface.
+//
+// A policy is a pure decision function over full-core stall events; all
+// timing/energy mechanics live in PgController so every policy is accounted
+// identically.  The information boundary (DESIGN.md, dram.h) is enforced by
+// convention here: non-clairvoyant policies must derive their residual-stall
+// estimate through `known_residual`, which only reveals the exact stall end
+// when the memory controller has committed it (ev.commit <= ev.start);
+// otherwise it returns the controller's estimate.  Only OraclePolicy reads
+// ev.data_ready directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "cpu/core.h"
+#include "power/pg_circuit.h"
+
+namespace mapg {
+
+/// How the wakeup is initiated once the core is gated.
+enum class WakeMode : std::uint8_t {
+  /// Wake begins when the blocking data arrives: the full wakeup latency is
+  /// exposed as a performance penalty (conventional idle-driven PG).
+  kReactive,
+  /// MAPG: the memory controller initiates wakeup `wakeup_latency` cycles
+  /// before the scheduled data return — but no earlier than the commit
+  /// point, because before that the return time is not exactly known.
+  kEarly,
+  /// Clairvoyant: wakeup lands exactly on data arrival (upper bound).
+  kOracle,
+};
+
+/// Static circuit facts policies may use in their decision rule.  The
+/// unqualified fields describe deep sleep (the original MAPG mode); the
+/// light_* fields describe the optional intermediate sleep state and are
+/// zero when the platform has no light mode.
+struct PolicyContext {
+  Cycle entry_latency = 6;
+  Cycle wakeup_latency = 30;
+  Cycle break_even = 47;
+  Cycle light_wakeup_latency = 0;
+  Cycle light_break_even = 0;
+  double light_save_frac = 0;  ///< leakage-savings rate relative to deep
+};
+
+/// Residual stall length the platform may legitimately claim to know at the
+/// moment of the gating decision (stall onset).
+inline Cycle known_residual(const StallEvent& ev) {
+  if (ev.commit <= ev.start)  // return time already committed: exact
+    return cycle_sub_sat(ev.data_ready, ev.start);
+  return cycle_sub_sat(ev.estimate, ev.start);  // controller estimate
+}
+
+class PgPolicy {
+ public:
+  explicit PgPolicy(const PolicyContext& ctx) : ctx_(ctx) {}
+  virtual ~PgPolicy() = default;
+  PgPolicy(const PgPolicy&) = delete;
+  PgPolicy& operator=(const PgPolicy&) = delete;
+
+  virtual std::string name() const = 0;
+  /// Decide, at stall onset, whether to gate for this stall.  Non-const so
+  /// adaptive policies may carry state (e.g. learned stall predictors).
+  virtual bool should_gate(const StallEvent& ev) = 0;
+  virtual WakeMode wake_mode() const = 0;
+  /// Idle cycles to wait before starting entry (idle-timeout policies).
+  virtual Cycle gate_delay() const { return 0; }
+  /// Sleep depth for a stall the policy chose to gate.  Default: deep
+  /// (single-mode platforms ignore the light state entirely).
+  virtual SleepMode sleep_mode(const StallEvent& /*ev*/) {
+    return SleepMode::kDeep;
+  }
+  /// Feedback hook: called by the controller once per stall after the stall
+  /// has resolved, whether or not it was gated.  (In hardware, the PG
+  /// controller timestamps stall onset and the wake/data-arrival event, so
+  /// the true length is observable even while gated.)
+  virtual void observe(const StallEvent& /*ev*/) {}
+
+  const PolicyContext& context() const { return ctx_; }
+
+ protected:
+  PolicyContext ctx_;
+};
+
+}  // namespace mapg

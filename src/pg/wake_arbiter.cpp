@@ -1,0 +1,66 @@
+#include "pg/wake_arbiter.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mapg {
+
+WakeArbiter::WakeArbiter(std::uint32_t slots) : lanes_(slots) {}
+
+Cycle WakeArbiter::earliest_fit(const Lane& lane, Cycle requested,
+                                Cycle duration) {
+  Cycle start = requested;
+  // Intervals are sorted by start and disjoint: walk forward, sliding the
+  // candidate window past every reservation it overlaps.
+  for (const Interval& iv : lane) {
+    if (iv.end <= start) continue;          // entirely before the candidate
+    if (iv.start >= start + duration) break;  // candidate fits before it
+    start = iv.end;                         // collide: slide past
+  }
+  return start;
+}
+
+void WakeArbiter::prune(Cycle floor) {
+  // A future request never starts before its own floor, and floors are
+  // non-decreasing, so reservations ending at or before `floor` can no
+  // longer collide with anything.
+  for (Lane& lane : lanes_) {
+    lane.erase(std::remove_if(lane.begin(), lane.end(),
+                              [floor](const Interval& iv) {
+                                return iv.end <= floor;
+                              }),
+               lane.end());
+  }
+}
+
+Cycle WakeArbiter::reserve(Cycle requested, Cycle duration, Cycle floor) {
+  if (lanes_.empty() || duration == 0) return requested;  // unlimited
+  prune(floor);
+
+  Lane* best_lane = nullptr;
+  Cycle best_start = kNoCycle;
+  for (Lane& lane : lanes_) {
+    const Cycle start = earliest_fit(lane, requested, duration);
+    if (start < best_start) {
+      best_start = start;
+      best_lane = &lane;
+      if (start == requested) break;  // cannot do better
+    }
+  }
+  assert(best_lane != nullptr);
+
+  const Interval iv{best_start, best_start + duration};
+  // Insert keeping the lane sorted by start.
+  const auto pos = std::upper_bound(
+      best_lane->begin(), best_lane->end(), iv,
+      [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  best_lane->insert(pos, iv);
+
+  if (best_start > requested) {
+    ++delayed_grants_;
+    delay_cycles_ += best_start - requested;
+  }
+  return best_start;
+}
+
+}  // namespace mapg

@@ -1,0 +1,64 @@
+// Shared wakeup arbiter (multicore extension).
+//
+// Each core's staged wakeup draws a bounded rush current (R-Fig.2), but the
+// package-level di/dt budget is shared: if several cores begin their wakeup
+// simultaneously, the combined in-rush exceeds what the power delivery
+// network tolerates.  The arbiter grants at most `slots` concurrent wakeup
+// windows; an over-subscribed wakeup is postponed to the earliest cycle
+// where a slot is free — which can turn an otherwise-hidden early wakeup
+// into visible runtime overhead.  R-Fig.8 sweeps the slot budget.
+//
+// Requests arrive in non-decreasing stall-onset order (`floor`), but the
+// requested window starts are NOT monotonic (each core wakes relative to
+// its own data-return time), so grants are interval reservations per slot
+// lane rather than a simple high-water mark.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mapg {
+
+class WakeArbiter {
+ public:
+  /// `slots` = maximum concurrent wakeups; 0 means unlimited (no arbiter).
+  explicit WakeArbiter(std::uint32_t slots);
+
+  /// Reserve a wakeup window of `duration` cycles starting no earlier than
+  /// `requested`.  `floor` must be non-decreasing across calls (the stall
+  /// onset time); no future request will ever start before its own floor,
+  /// which lets the arbiter discard stale reservations.  Returns the
+  /// granted window start (>= requested).
+  Cycle reserve(Cycle requested, Cycle duration, Cycle floor);
+
+  std::uint32_t slots() const {
+    return static_cast<std::uint32_t>(lanes_.size());
+  }
+  std::uint64_t delayed_grants() const { return delayed_grants_; }
+  std::uint64_t delay_cycles() const { return delay_cycles_; }
+  void reset_stats() {
+    delayed_grants_ = 0;
+    delay_cycles_ = 0;
+  }
+
+ private:
+  struct Interval {
+    Cycle start;
+    Cycle end;
+  };
+  /// Reserved windows, sorted by start, non-overlapping within a lane.
+  using Lane = std::vector<Interval>;
+
+  /// Earliest start >= requested at which [start, start+duration) fits.
+  static Cycle earliest_fit(const Lane& lane, Cycle requested,
+                            Cycle duration);
+  void prune(Cycle floor);
+
+  std::vector<Lane> lanes_;
+  std::uint64_t delayed_grants_ = 0;
+  std::uint64_t delay_cycles_ = 0;
+};
+
+}  // namespace mapg

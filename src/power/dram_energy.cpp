@@ -1,0 +1,35 @@
+#include "power/dram_energy.h"
+
+#include <cassert>
+
+namespace mapg {
+
+double compute_dram_energy_j(const DramStats& stats, const DramConfig& config,
+                             const TechParams& tech,
+                             const DramEnergyParams& params, Cycle duration) {
+  assert(params.valid());
+  const double seconds =
+      tech.cycles_to_seconds(static_cast<double>(duration));
+
+  const double background_j =
+      params.background_w_per_channel * config.channels * seconds;
+
+  const double activations =
+      static_cast<double>(stats.row_closed + stats.row_conflicts);
+  const double events_j =
+      (activations * params.activate_nj +
+       static_cast<double>(stats.reads) * params.read_nj +
+       static_cast<double>(stats.writes) * params.write_nj) *
+      1e-9;
+
+  double refresh_j = 0;
+  if (config.t_refi > 0) {
+    const double refreshes =
+        static_cast<double>(duration) / static_cast<double>(config.t_refi) *
+        config.channels;
+    refresh_j = refreshes * params.refresh_nj * 1e-9;
+  }
+  return background_j + events_j + refresh_j;
+}
+
+}  // namespace mapg

@@ -1,0 +1,39 @@
+// DRAM energy model (substrate extension): turns the controller's event
+// counts into joules so experiments can report full-system energy, not just
+// the core domain.  Event energies are DDR3-1600 2 Gb x8 class (datasheet
+// IDD-derived, per 64 B line burst); the background term covers standby,
+// clocking and ODT averaged over activity.
+//
+// Policy relevance: gating the core does NOT change the DRAM access stream,
+// but a policy that stretches runtime (reactive wakeups) pays extra DRAM
+// background energy for the whole stretch — one more reason idle-timeout
+// gating loses end-to-end.
+#pragma once
+
+#include "mem/dram.h"
+#include "power/tech_params.h"
+
+namespace mapg {
+
+struct DramEnergyParams {
+  double background_w_per_channel = 0.35;
+  double activate_nj = 12.0;  ///< ACT + PRE pair, per row activation
+  double read_nj = 10.0;      ///< per 64 B read burst
+  double write_nj = 11.0;     ///< per 64 B write burst
+  double refresh_nj = 110.0;  ///< per refresh event, per channel
+
+  bool valid() const {
+    return background_w_per_channel >= 0 && activate_nj >= 0 &&
+           read_nj >= 0 && write_nj >= 0 && refresh_nj >= 0;
+  }
+};
+
+/// Energy consumed by the DRAM subsystem over `duration` core cycles given
+/// the observed controller statistics.  Row activations are the closed +
+/// conflict accesses (each required an ACT); refresh events fire every
+/// t_REFI per channel regardless of traffic.
+double compute_dram_energy_j(const DramStats& stats, const DramConfig& config,
+                             const TechParams& tech,
+                             const DramEnergyParams& params, Cycle duration);
+
+}  // namespace mapg

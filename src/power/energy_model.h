@@ -1,0 +1,87 @@
+// Energy composition: turns (core activity, gating activity) into a joule
+// breakdown.  Pure functions of the stats structs so every experiment and
+// test accounts energy identically, and conservation can be asserted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/core.h"
+#include "power/pg_circuit.h"
+#include "power/tech_params.h"
+
+namespace mapg {
+
+/// What the power-gating controller did over a run, in cycles/events.
+/// Maintained by PgController (src/pg/pg_controller.h).  The totals always
+/// equal the sum of the per-mode splits (deep-only platforms leave the
+/// light fields at zero).
+struct GatingActivity {
+  std::uint64_t transitions = 0;    ///< complete sleep+wake pairs
+  std::uint64_t gated_cycles = 0;   ///< switches off: leakage saved
+  std::uint64_t entry_cycles = 0;   ///< draining: idle, leakage NOT yet saved
+  std::uint64_t wake_cycles = 0;    ///< recharging: idle, leakage NOT saved
+
+  // Per-sleep-mode splits (see power/pg_circuit.h SleepMode).
+  std::uint64_t deep_transitions = 0;
+  std::uint64_t light_transitions = 0;
+  std::uint64_t deep_gated_cycles = 0;
+  std::uint64_t light_gated_cycles = 0;
+
+  /// Record one transition uniformly (keeps totals and splits in sync).
+  void add_transition(SleepMode mode, std::uint64_t gated,
+                      std::uint64_t entry, std::uint64_t wake) {
+    ++transitions;
+    gated_cycles += gated;
+    entry_cycles += entry;
+    wake_cycles += wake;
+    if (mode == SleepMode::kDeep) {
+      ++deep_transitions;
+      deep_gated_cycles += gated;
+    } else {
+      ++light_transitions;
+      light_gated_cycles += gated;
+    }
+  }
+};
+
+struct EnergyBreakdown {
+  double dynamic_j = 0;      ///< per-instruction switching energy
+  double core_leak_j = 0;    ///< gated-region leakage actually paid
+  double ungated_leak_j = 0; ///< L1 + L2 + other always-on leakage
+  double idle_clock_j = 0;   ///< residual clocking while idle and ungated
+  double pg_overhead_j = 0;  ///< sleep/wake transition energy
+  /// Off-chip DRAM energy (filled by the Simulator from dram_energy.h;
+  /// compute_energy itself leaves it zero).
+  double dram_j = 0;
+
+  double total_j() const {
+    return dynamic_j + core_leak_j + ungated_leak_j + idle_clock_j +
+           pg_overhead_j + dram_j;
+  }
+  /// Energy attributable to the gated power domain (what the paper-style
+  /// "core energy savings" metric compares): everything except the always-on
+  /// cache/infrastructure leakage shared identically by all policies.
+  double core_domain_j() const {
+    return dynamic_j + core_leak_j + idle_clock_j + pg_overhead_j;
+  }
+
+  /// Gated-region leakage that WOULD have been paid with no gating at all.
+  double core_leak_baseline_j = 0;
+  /// Leakage energy eliminated by gating (before paying pg_overhead_j).
+  double core_leak_saved_j() const {
+    return core_leak_baseline_j - core_leak_j;
+  }
+};
+
+/// Compose the breakdown.  `pg` may be null for a no-gating platform (then
+/// `activity` must be all-zero).  Asserts internal cycle conservation:
+///   idle_cycles >= gated + entry + wake.
+EnergyBreakdown compute_energy(const TechParams& tech, const PgCircuit* pg,
+                               const CoreStats& core,
+                               const GatingActivity& activity);
+
+/// Human-readable multi-line summary (used by examples).
+std::string energy_to_string(const EnergyBreakdown& e);
+
+}  // namespace mapg

@@ -1,0 +1,74 @@
+// Parametric workload profiles.
+//
+// SPEC CPU2006 traces are not redistributable, so the reproduction drives the
+// simulator with synthetic instruction streams whose *memory behaviour* is
+// shaped to match the published characteristics of the benchmark classes
+// (LLC MPKI, memory-level parallelism, dependency tightness, spatial
+// locality).  Those four quantities fully determine the distribution of
+// full-core memory-stall intervals — which is the only workload property the
+// MAPG policy ever observes.  See DESIGN.md §3 for the substitution argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mapg {
+
+struct WorkloadProfile {
+  std::string name;         ///< e.g. "mcf-like"
+  std::string description;  ///< one-line behavioural summary
+
+  // --- Instruction mix (fractions must sum to <= 1; remainder is kAlu) ---
+  double f_load = 0.25;
+  double f_store = 0.10;
+  double f_branch = 0.15;
+  double f_mul = 0.02;
+  double f_div = 0.002;
+  double f_fp = 0.05;
+
+  // --- Address-stream structure ---
+  /// Total data footprint in bytes; cold random accesses land anywhere here.
+  std::uint64_t working_set_bytes = 64ULL << 20;
+  /// Hot subset in bytes; should usually fit (or nearly fit) in the LLC.
+  std::uint64_t hot_set_bytes = 128ULL << 10;
+  /// Number of concurrent sequential streams (array sweeps).
+  int num_streams = 4;
+  /// Stream advance in bytes per touch (8 = dense double-precision sweep).
+  std::uint64_t stream_stride_bytes = 8;
+
+  /// Load/store address pattern mixture; must sum to <= 1.
+  /// Remainder of the probability mass goes to `hot` accesses.
+  double p_stream = 0.30;  ///< next element of a sequential stream
+  double p_cold = 0.05;    ///< uniform random in the full working set
+  /// Fraction of *loads* that are pointer-chasing: random cold address AND
+  /// dep_dist forced to 1 (the next instruction consumes the pointer), which
+  /// serializes misses and produces long, MLP-free stalls (mcf's signature).
+  double p_pointer_chase = 0.0;
+
+  // --- Dependency structure ---
+  /// Mean of the geometric dep_dist for ordinary loads (higher = looser
+  /// schedules = more latency hiding before the core stalls).
+  double dep_dist_mean = 6.0;
+  /// Fraction of ordinary loads with no in-window consumer (dep_dist = 0).
+  double p_no_consumer = 0.05;
+  /// Maximum dep_dist emitted (ties to the core's scoreboard window).
+  std::uint16_t dep_dist_max = 64;
+
+  /// Generator seed; combined with the trace-level seed so two profiles
+  /// never share an address stream by accident.
+  std::uint64_t seed = 1;
+};
+
+/// The 12 built-in SPEC-2006-class profiles (memory-bound -> compute-bound).
+/// Names carry a "-like" suffix to make the synthetic nature explicit.
+const std::vector<WorkloadProfile>& builtin_profiles();
+
+/// Lookup by name ("mcf-like"); returns nullptr if unknown.
+const WorkloadProfile* find_profile(const std::string& name);
+
+/// The subset used by the sweep figures (memory-bound, streaming, mixed,
+/// compute-bound representative).
+std::vector<WorkloadProfile> representative_profiles();
+
+}  // namespace mapg

@@ -1,0 +1,101 @@
+// Binary trace persistence + in-memory trace sources.
+//
+// Format (little-endian):
+//   8 bytes   magic "MAPGTRC1"
+//   u64       record count
+//   records   { u8 op, u16 dep_dist, u64 addr } packed per instruction
+//
+// Used to freeze generator output for exact cross-run replay and to feed the
+// simulator from externally captured traces.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/instr.h"
+
+namespace mapg {
+
+/// Serves instructions from an in-memory vector (bounded trace).
+class VectorTraceSource final : public TraceSource {
+ public:
+  explicit VectorTraceSource(std::vector<Instr> instrs)
+      : instrs_(std::move(instrs)) {}
+
+  bool next(Instr& out) override {
+    if (pos_ >= instrs_.size()) return false;
+    out = instrs_[pos_++];
+    return true;
+  }
+  void reset() override { pos_ = 0; }
+
+  std::size_t size() const { return instrs_.size(); }
+
+ private:
+  std::vector<Instr> instrs_;
+  std::size_t pos_ = 0;
+};
+
+/// Wraps any source and caps it at `limit` instructions.
+class LimitedTraceSource final : public TraceSource {
+ public:
+  LimitedTraceSource(TraceSource& inner, std::uint64_t limit)
+      : inner_(inner), limit_(limit) {}
+
+  bool next(Instr& out) override {
+    if (count_ >= limit_) return false;
+    if (!inner_.next(out)) return false;
+    ++count_;
+    return true;
+  }
+  void reset() override {
+    inner_.reset();
+    count_ = 0;
+  }
+
+ private:
+  TraceSource& inner_;
+  std::uint64_t limit_;
+  std::uint64_t count_ = 0;
+};
+
+/// Rebases every memory address by a fixed offset.  The multicore simulator
+/// uses this to give each core a disjoint address-space slice so workloads
+/// contend for L2/DRAM *capacity and bandwidth* without aliasing lines
+/// (multiprogrammed-mix methodology).
+class OffsetTraceSource final : public TraceSource {
+ public:
+  OffsetTraceSource(TraceSource& inner, Addr offset)
+      : inner_(inner), offset_(offset) {}
+
+  bool next(Instr& out) override {
+    if (!inner_.next(out)) return false;
+    if (out.addr != kNoAddr) out.addr += offset_;
+    return true;
+  }
+  void reset() override { inner_.reset(); }
+
+ private:
+  TraceSource& inner_;
+  Addr offset_;
+};
+
+/// Serialize `count` instructions pulled from `source`.  Returns the number
+/// actually written (short if the source ends early).
+std::uint64_t write_trace(std::ostream& os, TraceSource& source,
+                          std::uint64_t count);
+
+/// Deserialize a full trace.  Returns false on malformed input; on success
+/// `out` holds the instructions.
+bool read_trace(std::istream& is, std::vector<Instr>& out,
+                std::string* error = nullptr);
+
+/// Convenience file wrappers.
+bool write_trace_file(const std::string& path, TraceSource& source,
+                      std::uint64_t count, std::string* error = nullptr);
+bool read_trace_file(const std::string& path, std::vector<Instr>& out,
+                     std::string* error = nullptr);
+
+}  // namespace mapg

@@ -1,0 +1,146 @@
+// Tests for the textual-config applier and the multi-seed replication API.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "multicore/config_apply.h"
+
+namespace mapg {
+namespace {
+
+TEST(ConfigApply, DefaultsUntouchedByEmptyConfig) {
+  KvConfig kv;
+  std::vector<std::string> unknown;
+  const SimConfig cfg = apply_sim_config(kv, SimConfig{}, &unknown);
+  const SimConfig ref;
+  EXPECT_TRUE(unknown.empty());
+  EXPECT_EQ(cfg.instructions, ref.instructions);
+  EXPECT_EQ(cfg.mem.l2.size_bytes, ref.mem.l2.size_bytes);
+  EXPECT_EQ(cfg.pg.wakeup_stages, ref.pg.wakeup_stages);
+  EXPECT_DOUBLE_EQ(cfg.tech.core_leakage_w, ref.tech.core_leakage_w);
+}
+
+TEST(ConfigApply, AppliesEveryCategory) {
+  KvConfig kv;
+  std::string err;
+  ASSERT_TRUE(kv.parse_text(R"(
+    instructions = 123456
+    warmup = 1000
+    seed = 7
+    core.mlp_window = 4
+    l1.size_kib = 64
+    l2.size_kib = 2048
+    l2.assoc = 8
+    dram.channels = 1
+    dram.t_cl = 50
+    prefetch.enable = 1
+    prefetch.degree = 4
+    tech.freq_ghz = 2.0
+    tech.core_leakage_w = 0.8
+    pg.stages = 16
+    pg.overhead_scale = 2.0
+    dram_energy.read_nj = 20
+    thermal.enable = 1
+    thermal.ambient_c = 55
+  )", &err)) << err;
+
+  std::vector<std::string> unknown;
+  const SimConfig cfg = apply_sim_config(kv, SimConfig{}, &unknown);
+  EXPECT_TRUE(unknown.empty());
+  EXPECT_EQ(cfg.instructions, 123456u);
+  EXPECT_EQ(cfg.warmup_instructions, 1000u);
+  EXPECT_EQ(cfg.run_seed, 7u);
+  EXPECT_EQ(cfg.core.mlp_window, 4u);
+  EXPECT_EQ(cfg.mem.l1d.size_bytes, 64u * 1024);
+  EXPECT_EQ(cfg.mem.l2.size_bytes, 2048u * 1024);
+  EXPECT_EQ(cfg.mem.l2.assoc, 8u);
+  EXPECT_EQ(cfg.mem.dram.channels, 1u);
+  EXPECT_EQ(cfg.mem.dram.t_cl, 50u);
+  EXPECT_TRUE(cfg.mem.prefetch.enable);
+  EXPECT_EQ(cfg.mem.prefetch.degree, 4u);
+  EXPECT_DOUBLE_EQ(cfg.tech.freq_ghz, 2.0);
+  EXPECT_DOUBLE_EQ(cfg.tech.core_leakage_w, 0.8);
+  EXPECT_EQ(cfg.pg.wakeup_stages, 16u);
+  EXPECT_DOUBLE_EQ(cfg.pg.overhead_scale, 2.0);
+  EXPECT_DOUBLE_EQ(cfg.dram_energy.read_nj, 20.0);
+  EXPECT_TRUE(cfg.thermal.enable);
+  EXPECT_DOUBLE_EQ(cfg.thermal.t_ambient_c, 55.0);
+  EXPECT_TRUE(cfg.mem.valid());
+}
+
+TEST(ConfigApply, LineBytesAppliesToAllLevels) {
+  KvConfig kv;
+  kv.set("mem.line_bytes", "128");
+  const SimConfig cfg = apply_sim_config(kv);
+  EXPECT_EQ(cfg.mem.l1d.line_bytes, 128u);
+  EXPECT_EQ(cfg.mem.l2.line_bytes, 128u);
+  EXPECT_EQ(cfg.mem.dram.line_bytes, 128u);
+  EXPECT_TRUE(cfg.mem.valid());
+}
+
+TEST(ConfigApply, ReportsUnknownKeys) {
+  KvConfig kv;
+  kv.set("l2.size_kb", "512");  // typo: _kb instead of _kib
+  kv.set("run.anything", "1");  // reserved: never reported
+  kv.set("workload", "mcf-like");  // tool key: never reported
+  std::vector<std::string> unknown;
+  apply_sim_config(kv, SimConfig{}, &unknown);
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "l2.size_kb");
+}
+
+TEST(ConfigApply, MulticoreKeys) {
+  KvConfig kv;
+  kv.set("cores", "8");
+  kv.set("arbiter_slots", "2");
+  kv.set("addr_stride_log2", "38");
+  kv.set("instructions", "5000");
+  std::vector<std::string> unknown;
+  const MulticoreConfig cfg =
+      apply_multicore_config(kv, MulticoreConfig{}, &unknown);
+  EXPECT_TRUE(unknown.empty());
+  EXPECT_EQ(cfg.num_cores, 8u);
+  EXPECT_EQ(cfg.wake_arbiter_slots, 2u);
+  EXPECT_EQ(cfg.core_addr_stride, 1ULL << 38);
+  EXPECT_EQ(cfg.instructions_per_core, 5000u);
+}
+
+TEST(ConfigApply, MulticoreKeysAcceptedBySimWithoutWarning) {
+  KvConfig kv;
+  kv.set("cores", "1");
+  std::vector<std::string> unknown;
+  apply_sim_config(kv, SimConfig{}, &unknown);
+  EXPECT_TRUE(unknown.empty());
+}
+
+TEST(Replicate, AggregatesAcrossSeeds) {
+  SimConfig cfg;
+  cfg.instructions = 100'000;
+  cfg.warmup_instructions = 30'000;
+  ExperimentRunner runner(cfg);
+  const WorkloadProfile* p = find_profile("omnetpp-like");
+  const ReplicatedComparison r = runner.replicate(*p, "mapg", 4);
+  EXPECT_EQ(r.replicates(), 4u);
+  EXPECT_EQ(r.policy, "mapg");
+  EXPECT_EQ(r.workload, "omnetpp-like");
+  // Savings are consistently positive with a tight spread across draws.
+  EXPECT_GT(r.core_energy_savings.mean(), 0.15);
+  EXPECT_LT(r.core_energy_savings.stdev(),
+            0.1 * r.core_energy_savings.mean() + 0.01);
+  EXPECT_GT(r.core_energy_savings.min(), 0.0);
+  EXPECT_LT(r.runtime_overhead.max(), 0.01);
+}
+
+TEST(Replicate, SingleSeedMatchesCompareOne) {
+  SimConfig cfg;
+  cfg.instructions = 100'000;
+  cfg.warmup_instructions = 30'000;
+  ExperimentRunner runner(cfg);
+  const WorkloadProfile* p = find_profile("gcc-like");
+  const ReplicatedComparison rep = runner.replicate(*p, "mapg", 1);
+  const Comparison one = runner.compare_one(*p, "mapg");
+  EXPECT_DOUBLE_EQ(rep.core_energy_savings.mean(), one.core_energy_savings);
+  EXPECT_DOUBLE_EQ(rep.runtime_overhead.mean(), one.runtime_overhead);
+}
+
+}  // namespace
+}  // namespace mapg

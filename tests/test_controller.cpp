@@ -1,0 +1,183 @@
+// Unit tests for PgController timing/accounting: the gate/entry/gated/wake
+// phase math for each wake mode, degenerate cases, and statistics.
+#include <gtest/gtest.h>
+
+#include "pg/pg_controller.h"
+#include "pg/policies.h"
+
+namespace mapg {
+namespace {
+
+struct Fixture {
+  TechParams tech{};
+  PgCircuitConfig pg_cfg{};
+  PgCircuit circuit{pg_cfg, tech};
+  PolicyContext ctx{PgController::make_context(circuit)};
+};
+
+StallEvent dram_stall(Cycle start, Cycle len, Cycle commit_offset) {
+  StallEvent ev;
+  ev.start = start;
+  ev.data_ready = start + len;
+  ev.commit = start + commit_offset;
+  ev.estimate = ev.data_ready;  // accurate estimate unless a test overrides
+  ev.dram = true;
+  return ev;
+}
+
+TEST(Controller, MakeContextMatchesCircuit) {
+  Fixture f;
+  EXPECT_EQ(f.ctx.entry_latency, f.circuit.entry_latency_cycles());
+  EXPECT_EQ(f.ctx.wakeup_latency, f.circuit.wakeup_latency_cycles());
+  EXPECT_EQ(f.ctx.break_even, f.circuit.break_even_cycles());
+}
+
+TEST(Controller, DeclinedStallResumesOnData) {
+  Fixture f;
+  NoGatingPolicy policy(f.ctx);
+  PgController c(policy, f.circuit);
+  const StallEvent ev = dram_stall(1000, 200, 100);
+  EXPECT_EQ(c.on_stall(ev), ev.data_ready);
+  EXPECT_EQ(c.stats().eligible_stalls, 1u);
+  EXPECT_EQ(c.stats().skipped_events, 1u);
+  EXPECT_EQ(c.stats().gated_events, 0u);
+  EXPECT_EQ(c.activity().transitions, 0u);
+}
+
+TEST(Controller, OracleWakeLandsExactlyOnData) {
+  Fixture f;
+  OraclePolicy policy(f.ctx);
+  PgController c(policy, f.circuit);
+  const StallEvent ev = dram_stall(1000, 300, 100);
+  EXPECT_EQ(c.on_stall(ev), ev.data_ready);  // zero penalty
+  const GatingStats& s = c.stats();
+  EXPECT_EQ(s.gated_events, 1u);
+  EXPECT_EQ(s.penalty_cycles, 0u);
+  // Gated span: [start+entry, data_ready-wakeup).
+  EXPECT_EQ(s.activity.gated_cycles,
+            300 - f.ctx.entry_latency - f.ctx.wakeup_latency);
+  EXPECT_EQ(s.activity.entry_cycles, f.ctx.entry_latency);
+  EXPECT_EQ(s.activity.wake_cycles, f.ctx.wakeup_latency);
+}
+
+TEST(Controller, EarlyWakeHiddenWhenNoticeSufficient) {
+  Fixture f;
+  MapgPolicy policy(f.ctx, {});
+  PgController c(policy, f.circuit);
+  // Commit 100 cycles into a 300-cycle stall: notice = 200 >= wakeup (30),
+  // so the wake is fully hidden and resume == data_ready.
+  const StallEvent ev = dram_stall(1000, 300, 100);
+  EXPECT_EQ(c.on_stall(ev), ev.data_ready);
+  EXPECT_EQ(c.stats().penalty_cycles, 0u);
+}
+
+TEST(Controller, EarlyWakeTruncatedByCommitPoint) {
+  Fixture f;
+  MapgPolicy policy(f.ctx, {});
+  PgController c(policy, f.circuit);
+  // Return time becomes known only 10 cycles before data: wake cannot start
+  // earlier, so resume = commit + wakeup_latency (20-cycle penalty).
+  StallEvent ev = dram_stall(1000, 300, 290);
+  const Cycle resume = c.on_stall(ev);
+  EXPECT_EQ(resume, ev.commit + f.ctx.wakeup_latency);
+  EXPECT_EQ(c.stats().penalty_cycles,
+            f.ctx.wakeup_latency - (ev.data_ready - ev.commit));
+}
+
+TEST(Controller, ReactiveWakePaysFullLatency) {
+  Fixture f;
+  MapgPolicy policy(f.ctx, {.early_wake = false});
+  PgController c(policy, f.circuit);
+  const StallEvent ev = dram_stall(1000, 300, 100);
+  EXPECT_EQ(c.on_stall(ev), ev.data_ready + f.ctx.wakeup_latency);
+  EXPECT_EQ(c.stats().penalty_cycles, f.ctx.wakeup_latency);
+}
+
+TEST(Controller, TimeoutConsumesStallWithoutGating) {
+  Fixture f;
+  IdleTimeoutPolicy policy(f.ctx, 500);
+  PgController c(policy, f.circuit);
+  const StallEvent ev = dram_stall(1000, 200, 100);  // shorter than timeout
+  EXPECT_EQ(c.on_stall(ev), ev.data_ready);
+  EXPECT_EQ(c.stats().timeout_missed, 1u);
+  EXPECT_EQ(c.stats().gated_events, 0u);
+  EXPECT_EQ(c.activity().transitions, 0u);
+}
+
+TEST(Controller, TimeoutGatesLongStallReactively) {
+  Fixture f;
+  IdleTimeoutPolicy policy(f.ctx, 64);
+  PgController c(policy, f.circuit);
+  const StallEvent ev = dram_stall(1000, 300, 100);
+  // Entry starts at start+64; wake starts when data arrives.
+  EXPECT_EQ(c.on_stall(ev), ev.data_ready + f.ctx.wakeup_latency);
+  EXPECT_EQ(c.stats().activity.gated_cycles,
+            300 - 64 - f.ctx.entry_latency);
+}
+
+TEST(Controller, AbortedEntryWhenDataBeatsIt) {
+  Fixture f;
+  MapgPolicy policy(f.ctx, {.aggressive = true});  // gates even tiny stalls
+  PgController c(policy, f.circuit);
+  // Stall of 3 cycles: data arrives during entry (entry = 6 cycles).
+  const StallEvent ev = dram_stall(1000, 3, 0);
+  const Cycle resume = c.on_stall(ev);
+  // wake starts at entry end; resume = entry_end + wakeup.
+  EXPECT_EQ(resume,
+            ev.start + f.ctx.entry_latency + f.ctx.wakeup_latency);
+  const GatingStats& s = c.stats();
+  EXPECT_EQ(s.aborted_entries, 1u);
+  EXPECT_EQ(s.unprofitable_events, 1u);
+  EXPECT_EQ(s.activity.gated_cycles, 0u);
+  EXPECT_EQ(s.activity.transitions, 1u);  // overhead still paid
+}
+
+TEST(Controller, UnprofitableCountsGatedBelowBreakEven) {
+  Fixture f;
+  MapgPolicy policy(f.ctx, {.aggressive = true});
+  PgController c(policy, f.circuit);
+  // Long enough to gate a little, but below break-even.
+  const Cycle len = f.ctx.entry_latency + f.ctx.wakeup_latency +
+                    f.ctx.break_even / 2;
+  c.on_stall(dram_stall(1000, len, 0));
+  EXPECT_EQ(c.stats().unprofitable_events, 1u);
+  EXPECT_EQ(c.stats().aborted_entries, 0u);
+}
+
+TEST(Controller, PhaseCyclesNeverExceedIdleSpan) {
+  Fixture f;
+  MapgPolicy policy(f.ctx, {.aggressive = true});
+  PgController c(policy, f.circuit);
+  for (Cycle len : {1u, 5u, 36u, 83u, 200u, 1000u}) {
+    PgController fresh(policy, f.circuit);
+    const StallEvent ev = dram_stall(5000, len, len / 2);
+    const Cycle resume = fresh.on_stall(ev);
+    const GatingActivity& a = fresh.activity();
+    const Cycle idle_span = resume - ev.start;
+    EXPECT_LE(a.gated_cycles + a.entry_cycles + a.wake_cycles, idle_span)
+        << "len=" << len;
+    EXPECT_GE(resume, ev.data_ready);
+  }
+}
+
+TEST(Controller, ResetStatsClears) {
+  Fixture f;
+  OraclePolicy policy(f.ctx);
+  PgController c(policy, f.circuit);
+  c.on_stall(dram_stall(1000, 300, 100));
+  c.reset_stats();
+  EXPECT_EQ(c.stats().eligible_stalls, 0u);
+  EXPECT_EQ(c.activity().transitions, 0u);
+}
+
+TEST(Controller, GatedLengthHistogramFills) {
+  Fixture f;
+  OraclePolicy policy(f.ctx);
+  PgController c(policy, f.circuit);
+  c.on_stall(dram_stall(1000, 300, 100));
+  c.on_stall(dram_stall(9000, 500, 100));
+  EXPECT_EQ(c.stats().gated_len_hist.total(), 2u);
+}
+
+}  // namespace
+}  // namespace mapg

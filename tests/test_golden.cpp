@@ -1,0 +1,88 @@
+// Golden regression tests: frozen fingerprints of the synthetic traces and
+// of one end-to-end simulation.
+//
+// Purpose: the reconstructed experiment numbers in EXPERIMENTS.md are only
+// meaningful if the workload generator keeps producing bit-identical
+// streams.  Any intentional change to the generator, a profile, or the PRNG
+// must update these constants AND regenerate EXPERIMENTS.md — this test
+// turns a silent change into a loud one.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/sim.h"
+#include "trace/generator.h"
+#include "trace/profile.h"
+
+namespace mapg {
+namespace {
+
+std::uint64_t fnv_step(const Instr& i, std::uint64_t h) {
+  auto mix = [&](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<std::uint64_t>(i.op));
+  mix(i.addr);
+  mix(i.dep_dist);
+  return h;
+}
+
+std::uint64_t trace_fingerprint(const WorkloadProfile& p, int n = 10000) {
+  TraceGenerator g(p, 42);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  Instr instr;
+  for (int k = 0; k < n; ++k) {
+    g.next(instr);
+    h = fnv_step(instr, h);
+  }
+  return h;
+}
+
+TEST(Golden, TraceFingerprintsFrozen) {
+  const std::map<std::string, std::uint64_t> expected = {
+      {"mcf-like", 0x93768c783f22e97cULL},
+      {"lbm-like", 0xe38e2f72d975a0b3ULL},
+      {"milc-like", 0x5470131a2a1cd8deULL},
+      {"libquantum-like", 0xb857ddfb9c2a7ee4ULL},
+      {"soplex-like", 0x4c5aec4538a6063bULL},
+      {"omnetpp-like", 0x50d32868ed3b0c74ULL},
+      {"gcc-like", 0x13954d9840b2f367ULL},
+      {"astar-like", 0x21a4e223e7a09b43ULL},
+      {"bzip2-like", 0x2f2b058a006a8372ULL},
+      {"hmmer-like", 0xf431908c1a129ad3ULL},
+      {"gamess-like", 0x70e5bf5fe3010bd5ULL},
+      {"povray-like", 0x4aec7ea9bc44a38aULL},
+  };
+  ASSERT_EQ(builtin_profiles().size(), expected.size());
+  for (const auto& p : builtin_profiles()) {
+    auto it = expected.find(p.name);
+    ASSERT_NE(it, expected.end()) << "new profile '" << p.name
+                                  << "': freeze its fingerprint here";
+    EXPECT_EQ(trace_fingerprint(p), it->second)
+        << p.name << ": generator output changed — if intentional, update "
+        << "this constant and regenerate EXPERIMENTS.md";
+  }
+}
+
+TEST(Golden, EndToEndFingerprint) {
+  // One full simulation pinned end-to-end: trace -> caches -> DRAM -> core
+  // -> policy -> controller.  Cycle count and gating-event count together
+  // fingerprint the whole timing stack.
+  SimConfig cfg;
+  cfg.instructions = 100'000;
+  cfg.warmup_instructions = 20'000;
+  const SimResult r =
+      Simulator(cfg).run(*find_profile("mcf-like"), "mapg");
+  EXPECT_EQ(r.core.instrs, 100'000u);
+  // Frozen values; see the header comment before "fixing" a mismatch.
+  const SimResult ref = Simulator(cfg).run(*find_profile("mcf-like"), "mapg");
+  EXPECT_EQ(r.core.cycles, ref.core.cycles);  // trivially deterministic
+  // The actual frozen numbers:
+  EXPECT_EQ(r.core.cycles, 1'600'511u);
+  EXPECT_EQ(r.gating.gated_events, 7'535u);
+}
+
+}  // namespace
+}  // namespace mapg

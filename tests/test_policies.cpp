@@ -1,0 +1,176 @@
+// Unit tests for the gating policies: decision rules, the information
+// boundary (known_residual), naming, and the factory.
+#include <gtest/gtest.h>
+
+#include "pg/factory.h"
+#include "pg/policies.h"
+
+namespace mapg {
+namespace {
+
+PolicyContext ctx() {
+  return PolicyContext{.entry_latency = 6, .wakeup_latency = 30,
+                       .break_even = 47};
+}
+
+StallEvent dram_stall(Cycle start, Cycle len, Cycle commit_offset = 50,
+                      Cycle estimate_len = 0) {
+  StallEvent ev;
+  ev.start = start;
+  ev.data_ready = start + len;
+  ev.commit = start + commit_offset;  // return exactly known mid-stall
+  ev.estimate = start + (estimate_len ? estimate_len : len);
+  ev.dram = true;
+  ev.reason = StallReason::kDependence;
+  return ev;
+}
+
+TEST(KnownResidual, UsesExactValueOnceCommitted) {
+  StallEvent ev = dram_stall(1000, 200);
+  ev.commit = 900;  // committed before the stall began
+  EXPECT_EQ(known_residual(ev), 200u);
+  ev.commit = 1000;  // committed exactly at stall onset
+  EXPECT_EQ(known_residual(ev), 200u);
+}
+
+TEST(KnownResidual, FallsBackToEstimateBeforeCommit) {
+  StallEvent ev = dram_stall(1000, 200, /*commit_offset=*/50,
+                             /*estimate_len=*/150);
+  EXPECT_EQ(known_residual(ev), 150u);  // estimate, not the true 200
+}
+
+TEST(KnownResidual, ClampsPastEstimatesToZero) {
+  StallEvent ev = dram_stall(1000, 200, 50);
+  ev.estimate = 900;  // estimate already in the past
+  EXPECT_EQ(known_residual(ev), 0u);
+}
+
+TEST(NoGating, NeverGates) {
+  NoGatingPolicy p(ctx());
+  EXPECT_FALSE(p.should_gate(dram_stall(0, 10000)));
+  EXPECT_EQ(p.name(), "no-gating");
+}
+
+TEST(IdleTimeout, AlwaysGatesWithDelay) {
+  IdleTimeoutPolicy p(ctx(), 64);
+  EXPECT_TRUE(p.should_gate(dram_stall(0, 10)));  // blind to length
+  EXPECT_EQ(p.gate_delay(), 64u);
+  EXPECT_EQ(p.wake_mode(), WakeMode::kReactive);
+  EXPECT_EQ(p.name(), "idle-timeout-64");
+}
+
+TEST(IdleTimeout, EarlyWakeVariant) {
+  IdleTimeoutPolicy p(ctx(), 32, /*early_wake=*/true);
+  EXPECT_EQ(p.wake_mode(), WakeMode::kEarly);
+  EXPECT_EQ(p.gate_delay(), 32u);
+  EXPECT_EQ(p.name(), "idle-timeout-early-32");
+  auto made = make_policy("idle-timeout-early:128", ctx());
+  ASSERT_NE(made, nullptr);
+  EXPECT_EQ(made->gate_delay(), 128u);
+  EXPECT_EQ(made->wake_mode(), WakeMode::kEarly);
+}
+
+TEST(Oracle, GatesExactlyProfitableStalls) {
+  OraclePolicy p(ctx());
+  // Threshold: entry + wakeup + BET = 6 + 30 + 47 = 83.
+  EXPECT_FALSE(p.should_gate(dram_stall(100, 82)));
+  EXPECT_TRUE(p.should_gate(dram_stall(100, 83)));
+  EXPECT_EQ(p.wake_mode(), WakeMode::kOracle);
+}
+
+TEST(Oracle, IgnoresEstimates) {
+  OraclePolicy p(ctx());
+  // True length profitable even though the estimate says otherwise.
+  StallEvent ev = dram_stall(100, 200, 50, /*estimate_len=*/10);
+  EXPECT_TRUE(p.should_gate(ev));
+}
+
+TEST(Mapg, GatesOnSufficientKnownResidual) {
+  MapgPolicy p(ctx(), {});
+  EXPECT_TRUE(p.should_gate(dram_stall(100, 200)));   // estimate = len = 200
+  EXPECT_FALSE(p.should_gate(dram_stall(100, 50)));   // too short
+  EXPECT_EQ(p.name(), "mapg");
+  EXPECT_EQ(p.wake_mode(), WakeMode::kEarly);
+}
+
+TEST(Mapg, RespectsEstimateNotTruth) {
+  MapgPolicy p(ctx(), {});
+  // True length 300, but the uncommitted estimate says 60: must decline.
+  EXPECT_FALSE(p.should_gate(dram_stall(100, 300, 50, 60)));
+  // True length 60, estimate says 300: gates (and would eat the loss).
+  EXPECT_TRUE(p.should_gate(dram_stall(100, 60, 50, 300)));
+}
+
+TEST(Mapg, DramOnlyFilter) {
+  MapgPolicy filtered(ctx(), {});
+  StallEvent l2 = dram_stall(100, 500);
+  l2.dram = false;
+  EXPECT_FALSE(filtered.should_gate(l2));
+
+  MapgPolicy unfiltered(ctx(), {.dram_only = false});
+  EXPECT_TRUE(unfiltered.should_gate(l2));
+  EXPECT_EQ(unfiltered.name(), "mapg-unfiltered");
+}
+
+TEST(Mapg, AggressiveSkipsThreshold) {
+  MapgPolicy p(ctx(), {.aggressive = true});
+  EXPECT_TRUE(p.should_gate(dram_stall(100, 1)));  // any DRAM stall
+  StallEvent l2 = dram_stall(100, 1000);
+  l2.dram = false;
+  EXPECT_FALSE(p.should_gate(l2));  // still DRAM-only
+  EXPECT_EQ(p.name(), "mapg-aggressive");
+}
+
+TEST(Mapg, AlphaScalesThreshold) {
+  // alpha = 2: threshold = 6 + 30 + 94 = 130.
+  MapgPolicy strict(ctx(), {.alpha = 2.0});
+  EXPECT_FALSE(strict.should_gate(dram_stall(100, 129)));
+  EXPECT_TRUE(strict.should_gate(dram_stall(100, 130)));
+  // alpha = 0: threshold = 36.
+  MapgPolicy eager(ctx(), {.alpha = 0.0});
+  EXPECT_TRUE(eager.should_gate(dram_stall(100, 36)));
+  EXPECT_FALSE(eager.should_gate(dram_stall(100, 35)));
+}
+
+TEST(Mapg, NoEarlyVariantWakesReactively) {
+  MapgPolicy p(ctx(), {.early_wake = false});
+  EXPECT_EQ(p.wake_mode(), WakeMode::kReactive);
+  EXPECT_EQ(p.name(), "mapg-noearly");
+}
+
+TEST(Factory, BuildsEveryStandardSpec) {
+  for (const auto& spec : standard_policy_specs()) {
+    auto p = make_policy(spec, ctx());
+    ASSERT_NE(p, nullptr) << spec;
+  }
+  for (const auto& spec : ablation_policy_specs()) {
+    auto p = make_policy(spec, ctx());
+    ASSERT_NE(p, nullptr) << spec;
+  }
+}
+
+TEST(Factory, ParsesParameters) {
+  auto timeout = make_policy("idle-timeout:128", ctx());
+  ASSERT_NE(timeout, nullptr);
+  EXPECT_EQ(timeout->gate_delay(), 128u);
+
+  auto mapg = make_policy("mapg:alpha=2.0", ctx());
+  ASSERT_NE(mapg, nullptr);
+  // threshold = 130 (see AlphaScalesThreshold)
+  EXPECT_FALSE(mapg->should_gate(dram_stall(100, 129)));
+  EXPECT_TRUE(mapg->should_gate(dram_stall(100, 130)));
+}
+
+TEST(Factory, RejectsUnknownSpec) {
+  EXPECT_EQ(make_policy("definitely-not-a-policy", ctx()), nullptr);
+  EXPECT_EQ(make_policy("", ctx()), nullptr);
+}
+
+TEST(Factory, DefaultIdleTimeout) {
+  auto p = make_policy("idle-timeout", ctx());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->gate_delay(), 64u);
+}
+
+}  // namespace
+}  // namespace mapg

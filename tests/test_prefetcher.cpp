@@ -1,0 +1,188 @@
+// Tests for the L2 stream prefetcher: training, direction handling,
+// timeliness via MSHR merges, pollution accounting, and the MAPG
+// interaction (prefetching removes stalls -> less gating, faster runs).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/runner.h"
+#include "core/sim.h"
+#include "mem/hierarchy.h"
+#include "mem/prefetcher.h"
+
+namespace mapg {
+namespace {
+
+PrefetcherConfig on(std::uint32_t degree = 2) {
+  return PrefetcherConfig{.enable = true, .degree = degree};
+}
+
+TEST(StreamPrefetcher, DisabledIssuesNothing) {
+  StreamPrefetcher p(PrefetcherConfig{});
+  std::vector<Addr> out;
+  p.observe(0, 64, out);
+  p.observe(64, 64, out);
+  p.observe(128, 64, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(p.stats().issued, 0u);
+}
+
+TEST(StreamPrefetcher, AscendingStreamTrainsAndIssues) {
+  StreamPrefetcher p(on(2));
+  std::vector<Addr> out;
+  p.observe(1000 * 64, 64, out);  // allocates a stream
+  EXPECT_TRUE(out.empty());
+  p.observe(1001 * 64, 64, out);  // confirms: prefetch 1002, 1003
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1002u * 64);
+  EXPECT_EQ(out[1], 1003u * 64);
+  out.clear();
+  p.observe(1002 * 64, 64, out);  // window slides: only 1004 is new
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1004u * 64);
+  EXPECT_EQ(p.stats().trained, 2u);
+}
+
+TEST(StreamPrefetcher, DescendingStreamDetected) {
+  StreamPrefetcher p(on(2));
+  std::vector<Addr> out;
+  p.observe(1000 * 64, 64, out);
+  p.observe(999 * 64, 64, out);  // one below: descending confirmation
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 998u * 64);
+  EXPECT_EQ(out[1], 997u * 64);
+}
+
+TEST(StreamPrefetcher, DescendingStopsAtAddressZero) {
+  StreamPrefetcher p(on(4));
+  std::vector<Addr> out;
+  p.observe(2 * 64, 64, out);
+  p.observe(1 * 64, 64, out);  // descending; only line 0 remains
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0u);
+}
+
+TEST(StreamPrefetcher, RandomMissesDoNotTrain) {
+  StreamPrefetcher p(on(2));
+  std::vector<Addr> out;
+  Prng prng(3);
+  for (int i = 0; i < 1000; ++i)
+    p.observe(prng.below(1 << 20) * 64 * 7, 64, out);
+  // Random lines essentially never land exactly one line apart.
+  EXPECT_LT(p.stats().issued, 20u);
+}
+
+TEST(StreamPrefetcher, TracksMultipleConcurrentStreams) {
+  StreamPrefetcher p(on(1));
+  std::vector<Addr> out;
+  const Addr base_a = 1 << 20, base_b = 1 << 24;
+  p.observe(base_a, 64, out);
+  p.observe(base_b, 64, out);
+  out.clear();
+  p.observe(base_a + 64, 64, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], base_a + 128);
+  out.clear();
+  p.observe(base_b + 64, 64, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], base_b + 128);
+}
+
+TEST(CacheFill, AllocatesWithoutDemandStats) {
+  Cache c(CacheConfig{.name = "t",
+                      .size_bytes = 512,
+                      .assoc = 2,
+                      .line_bytes = 64,
+                      .hit_latency = 1});
+  c.fill(0);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_EQ(c.stats().accesses(), 0u);
+  EXPECT_EQ(c.stats().prefetch_fills, 1u);
+  // Filling a resident line is a no-op.
+  c.fill(0);
+  EXPECT_EQ(c.stats().prefetch_fills, 1u);
+  // Fill evicting a dirty line produces a writeback.
+  c.access(256, true);  // same set (4 sets? 512/64/2 = 4 sets; 256 -> set 0)
+  c.fill(512);
+  c.fill(768);
+  EXPECT_GE(c.stats().writebacks, 1u);
+}
+
+TEST(HierarchyPrefetch, StreamLoadsMergeIntoPrefetches) {
+  HierarchyConfig cfg;  // default 32K/1M hierarchy
+  cfg.prefetch = on(4);
+  MemoryHierarchy m(cfg);
+  // Walk lines sequentially with big gaps in time: after training, demand
+  // misses should ride prefetched fills (merged) or hit in L2.
+  Cycle t = 1000;
+  std::uint64_t dram_demand_late = 0;
+  for (int i = 0; i < 64; ++i) {
+    const MemAccessResult r =
+        m.load((1 << 22) + static_cast<Addr>(i) * 64, t);
+    if (i > 8 && r.served_by == ServedBy::kDram && !r.merged)
+      ++dram_demand_late;
+    t += 2000;  // plenty of time for fills to land
+  }
+  EXPECT_GT(m.stats().prefetch_issued, 20u);
+  // Once the stream is established, demand misses all but vanish.
+  EXPECT_LT(dram_demand_late, 5u);
+  EXPECT_GT(m.l2_stats().prefetch_fills, 20u);
+}
+
+TEST(HierarchyPrefetch, TimelinessMattersForBackToBackMisses) {
+  HierarchyConfig cfg;
+  cfg.prefetch = on(2);
+  MemoryHierarchy m(cfg);
+  // Back-to-back sequential misses: the prefetch for line i+1 was issued at
+  // line i's miss, so the merge completes EARLIER than a fresh miss would.
+  Cycle t = 1000;
+  m.load(1 << 22, t);
+  m.load((1 << 22) + 64, t + 1);
+  const MemAccessResult merged = m.load((1 << 22) + 128, t + 2);
+  EXPECT_TRUE(merged.merged);
+  EXPECT_TRUE(merged.prefetched);
+  EXPECT_EQ(m.stats().prefetch_merges, 1u);
+
+  // A cold miss at the same cycle to an untracked region takes longer.
+  const MemAccessResult cold = m.load(1 << 26, t + 3);
+  EXPECT_GT(cold.complete, merged.complete);
+}
+
+TEST(HierarchyPrefetch, EndToEndSpeedsUpStreamingAndShrinksGating) {
+  SimConfig base;
+  base.instructions = 300'000;
+  base.warmup_instructions = 100'000;
+  SimConfig pf = base;
+  pf.mem.prefetch = on(4);
+
+  const WorkloadProfile* p = find_profile("libquantum-like");
+  const SimResult no_pf = Simulator(base).run(*p, "mapg");
+  const SimResult with_pf = Simulator(pf).run(*p, "mapg");
+
+  // Prefetching accelerates the streaming workload...
+  EXPECT_LT(with_pf.core.cycles, no_pf.core.cycles * 0.9);
+  // ...which necessarily removes gateable stall time.
+  EXPECT_LT(with_pf.gating.activity.gated_cycles,
+            no_pf.gating.activity.gated_cycles);
+  EXPECT_GT(with_pf.hier.prefetch_issued, 1000u);
+}
+
+TEST(HierarchyPrefetch, PointerChaseUnaffected) {
+  SimConfig base;
+  base.instructions = 200'000;
+  base.warmup_instructions = 50'000;
+  SimConfig pf = base;
+  pf.mem.prefetch = on(4);
+
+  const WorkloadProfile* p = find_profile("mcf-like");
+  const SimResult no_pf = Simulator(base).run(*p, "mapg");
+  const SimResult with_pf = Simulator(pf).run(*p, "mapg");
+  // Random pointer chasing gives the stream table nothing to train on:
+  // performance changes by under 3%.
+  const double ratio = static_cast<double>(with_pf.core.cycles) /
+                       static_cast<double>(no_pf.core.cycles);
+  EXPECT_NEAR(ratio, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace mapg

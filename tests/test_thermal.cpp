@@ -1,0 +1,136 @@
+// Tests for the leakage-temperature feedback: RC node math, leakage
+// multiplier, and the end-to-end amplification of gating savings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sim.h"
+#include "power/thermal.h"
+
+namespace mapg {
+namespace {
+
+ThermalConfig cfg() {
+  ThermalConfig c;
+  c.enable = true;
+  return c;
+}
+
+TEST(ThermalModel, StartsAtAmbient) {
+  ThermalModel m(cfg(), TechParams{});
+  EXPECT_DOUBLE_EQ(m.temperature_c(), cfg().t_ambient_c);
+}
+
+TEST(ThermalModel, SteadyStateUnderConstantPower) {
+  ThermalModel m(cfg(), TechParams{});
+  const double p = 1.0;  // W
+  for (int i = 0; i < 1000; ++i) m.step(p, 1e-4);  // 100 ms >> tau = 1 ms
+  EXPECT_NEAR(m.temperature_c(), m.steady_state_c(p), 1e-6);
+  EXPECT_NEAR(m.steady_state_c(p),
+              cfg().t_ambient_c + cfg().r_th_k_per_w, 1e-12);
+}
+
+TEST(ThermalModel, ExponentialApproachIsExact) {
+  ThermalModel m(cfg(), TechParams{});
+  const double p = 0.5;
+  const double t0 = m.temperature_c();
+  const double target = m.steady_state_c(p);
+  const double tau_s = cfg().tau_ms * 1e-3;
+  m.step(p, tau_s);  // exactly one time constant
+  EXPECT_NEAR(m.temperature_c(),
+              target + (t0 - target) * std::exp(-1.0), 1e-9);
+}
+
+TEST(ThermalModel, StepIsStableForHugeDt) {
+  ThermalModel m(cfg(), TechParams{});
+  m.step(2.0, 100.0);  // 100 s step: must land exactly on steady state
+  EXPECT_NEAR(m.temperature_c(), m.steady_state_c(2.0), 1e-9);
+}
+
+TEST(ThermalModel, CoolingWorksToo) {
+  ThermalModel m(cfg(), TechParams{});
+  for (int i = 0; i < 100; ++i) m.step(2.0, 1e-3);
+  const double hot = m.temperature_c();
+  for (int i = 0; i < 100; ++i) m.step(0.1, 1e-3);
+  EXPECT_LT(m.temperature_c(), hot);
+  EXPECT_NEAR(m.temperature_c(), m.steady_state_c(0.1), 1e-6);
+}
+
+TEST(ThermalModel, LeakageMultiplierDoublesPerStep) {
+  ThermalModel m(cfg(), TechParams{});
+  EXPECT_DOUBLE_EQ(m.leakage_multiplier(cfg().t_ref_c), 1.0);
+  EXPECT_NEAR(m.leakage_multiplier(cfg().t_ref_c + cfg().leak_doubling_c),
+              2.0, 1e-12);
+  EXPECT_NEAR(m.leakage_multiplier(cfg().t_ref_c - cfg().leak_doubling_c),
+              0.5, 1e-12);
+}
+
+TEST(ThermalSim, GatingCoolsTheCore) {
+  SimConfig sc;
+  sc.instructions = 300'000;
+  sc.warmup_instructions = 100'000;
+  sc.thermal.enable = true;
+  const Simulator sim(sc);
+  const WorkloadProfile* p = find_profile("mcf-like");
+  const ThermalResult none = sim.run_thermal(*p, "none");
+  const ThermalResult mapg = sim.run_thermal(*p, "mapg");
+  EXPECT_GT(none.epochs, 5u);
+  EXPECT_GT(none.avg_temperature_c, sc.thermal.t_ambient_c);
+  // MAPG removes most of the hot-spot power on this workload: cooler die.
+  EXPECT_LT(mapg.avg_temperature_c, none.avg_temperature_c - 3.0);
+  EXPECT_LE(mapg.peak_temperature_c, none.peak_temperature_c + 1e-9);
+}
+
+TEST(ThermalSim, FeedbackAmplifiesSavings) {
+  SimConfig sc;
+  sc.instructions = 300'000;
+  sc.warmup_instructions = 100'000;
+  sc.thermal.enable = true;
+  const Simulator sim(sc);
+  const WorkloadProfile* p = find_profile("mcf-like");
+  const ThermalResult none = sim.run_thermal(*p, "none");
+  const ThermalResult mapg = sim.run_thermal(*p, "mapg");
+
+  const double iso_savings =
+      1.0 - mapg.sim.energy.total_j() / none.sim.energy.total_j();
+  const double thermal_savings =
+      1.0 - mapg.thermal_total_j() / none.thermal_total_j();
+  // The cooler gated die leaks less even while awake: feedback must
+  // strictly increase the measured savings.
+  EXPECT_GT(thermal_savings, iso_savings);
+}
+
+TEST(ThermalSim, TimingIdenticalToIsothermalRun) {
+  // Temperature only affects energy bookkeeping, never timing: the thermal
+  // run must execute cycle-for-cycle like the plain run.
+  SimConfig sc;
+  sc.instructions = 200'000;
+  sc.warmup_instructions = 50'000;
+  sc.thermal.enable = true;
+  const Simulator sim(sc);
+  const WorkloadProfile* p = find_profile("omnetpp-like");
+  const ThermalResult t = sim.run_thermal(*p, "mapg");
+  const SimResult r = sim.run(*p, "mapg");
+  EXPECT_EQ(t.sim.core.cycles, r.core.cycles);
+  EXPECT_EQ(t.sim.gating.gated_events, r.gating.gated_events);
+  // And the isothermal energy fields agree exactly.
+  EXPECT_DOUBLE_EQ(t.sim.energy.total_j(), r.energy.total_j());
+}
+
+TEST(ThermalSim, HotterRefConventionMeansMultiplierBelowOneWhenCool) {
+  // The default platform's leakage is characterized at 85 C while the
+  // ambient node sits at 60 C, so a mostly-gated core ends up with a
+  // feedback-corrected leakage BELOW the isothermal number, and a hot
+  // ungated core approaches it from below as it heats toward T_ref.
+  SimConfig sc;
+  sc.instructions = 300'000;
+  sc.warmup_instructions = 100'000;
+  sc.thermal.enable = true;
+  const Simulator sim(sc);
+  const ThermalResult mapg =
+      sim.run_thermal(*find_profile("mcf-like"), "mapg");
+  EXPECT_LT(mapg.thermal_core_leak_j, mapg.sim.energy.core_leak_j);
+}
+
+}  // namespace
+}  // namespace mapg

@@ -1,0 +1,251 @@
+// mapg_sim — the command-line front end to the MAPG simulator.
+//
+// Single core:
+//   mapg_sim --workload=mcf-like --policy=mapg
+//   mapg_sim --workload=all --policy=std --instructions=2000000
+//   mapg_sim --config=platform.cfg --workload=lbm-like --policy=oracle
+//   mapg_sim --workload=mcf-like --policy=mapg --seeds=5      # replicated
+// Multicore:
+//   mapg_sim --cores=8 --workload=mcf-like,gamess-like --policy=mapg
+// Any platform key from multicore/config_apply.h can be given either in the
+// --config file or directly on the command line (e.g. --l2.size_kib=2048).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "core/runner.h"
+#include "multicore/config_apply.h"
+#include "multicore/multicore.h"
+#include "pg/factory.h"
+#include "trace/profile.h"
+
+using namespace mapg;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+int usage() {
+  std::cout <<
+      "usage: mapg_sim [options] (all key=value platform overrides accepted)\n"
+      "  --workload=NAME[,NAME...]|all   workload profiles (see --list)\n"
+      "  --policy=SPEC[,SPEC...]|std|abl policy specs (see --list)\n"
+      "  --config=FILE                   key=value platform file\n"
+      "  --cores=N                       run the multicore simulator\n"
+      "  --seeds=N                       replicate over N trace seeds\n"
+      "  --thermal.enable=1              leakage-temperature feedback mode\n"
+      "  --instructions=N --warmup=N --seed=N\n"
+      "  --csv=1                         CSV output\n"
+      "  --list                          available workloads and policies\n";
+  return 2;
+}
+
+void list_everything() {
+  std::cout << "workloads:\n";
+  for (const auto& p : builtin_profiles())
+    std::cout << "  " << p.name << " — " << p.description << "\n";
+  std::cout << "\npolicy specs:\n"
+               "  none | idle-timeout:<N> | oracle | mapg | mapg:alpha=<f>\n"
+               "  mapg-aggressive | mapg-noearly | mapg-unfiltered\n"
+               "  mapg-history[:ewma=<f>] | mapg-hybrid[:ewma=<f>]\n"
+               "  mapg-multimode | idle-timeout-early:<N>\n"
+               "  std = standard comparison set, abl = ablation set\n";
+}
+
+std::vector<WorkloadProfile> resolve_workloads(const std::string& arg) {
+  std::vector<WorkloadProfile> out;
+  if (arg == "all") return builtin_profiles();
+  for (const auto& name : split_csv(arg)) {
+    const WorkloadProfile* p = find_profile(name);
+    if (p == nullptr) {
+      std::cerr << "unknown workload '" << name << "' (try --list)\n";
+      return {};
+    }
+    out.push_back(*p);
+  }
+  return out;
+}
+
+std::vector<std::string> resolve_policies(const std::string& arg) {
+  if (arg == "std") return standard_policy_specs();
+  if (arg == "abl") return ablation_policy_specs();
+  return split_csv(arg);
+}
+
+int run_single(const KvConfig& kv, const std::vector<WorkloadProfile>& wls,
+               const std::vector<std::string>& specs, bool csv,
+               unsigned seeds) {
+  std::vector<std::string> unknown;
+  const SimConfig cfg = apply_sim_config(kv, SimConfig{}, &unknown);
+  for (const auto& k : unknown)
+    log_warn() << "ignoring unknown config key '" << k << "'";
+
+  if (cfg.thermal.enable) {
+    // Thermal mode: leakage-temperature feedback per run (seeds ignored).
+    const Simulator sim(cfg);
+    Table t({"workload", "policy", "T_avg_C", "T_peak_C", "iso_total_mJ",
+             "thermal_total_mJ"});
+    for (const auto& w : wls) {
+      for (const auto& spec : specs) {
+        ThermalResult r;
+        try {
+          r = sim.run_thermal(w, spec);
+        } catch (const std::exception& e) {
+          std::cerr << "policy '" << spec << "': " << e.what() << "\n";
+          return 1;
+        }
+        t.begin_row()
+            .cell(w.name)
+            .cell(r.sim.policy)
+            .cell(r.avg_temperature_c, 1)
+            .cell(r.peak_temperature_c, 1)
+            .cell(r.sim.energy.total_j() * 1e3, 3)
+            .cell(r.thermal_total_j() * 1e3, 3);
+      }
+    }
+    csv ? t.print_csv(std::cout) : t.print(std::cout);
+    return 0;
+  }
+
+  ExperimentRunner runner(cfg);
+  if (seeds > 1) {
+    Table t({"workload", "policy", "core_savings_mean", "core_savings_stdev",
+             "overhead_mean", "overhead_max", "mpki_mean", "seeds"});
+    for (const auto& w : wls) {
+      for (const auto& spec : specs) {
+        if (spec == "none") continue;
+        const ReplicatedComparison r = runner.replicate(w, spec, seeds);
+        t.begin_row()
+            .cell(r.workload)
+            .cell(r.policy)
+            .cell(format_percent(r.core_energy_savings.mean()))
+            .cell(format_percent(r.core_energy_savings.stdev(), 2))
+            .cell(format_percent(r.runtime_overhead.mean(), 2))
+            .cell(format_percent(r.runtime_overhead.max(), 2))
+            .cell(r.mpki.mean(), 1)
+            .cell(r.replicates());
+      }
+    }
+    csv ? t.print_csv(std::cout) : t.print(std::cout);
+    return 0;
+  }
+
+  Table t({"workload", "MPKI", "IPC", "policy", "core_savings",
+           "total_savings", "overhead", "gated_time", "events"});
+  for (const auto& w : wls) {
+    for (const auto& spec : specs) {
+      Comparison c;
+      try {
+        c = runner.compare_one(w, spec);
+      } catch (const std::exception& e) {
+        std::cerr << "policy '" << spec << "': " << e.what() << "\n";
+        return 1;
+      }
+      const SimResult& r = c.result;
+      t.begin_row()
+          .cell(w.name)
+          .cell(r.mpki(), 1)
+          .cell(r.ipc(), 3)
+          .cell(r.policy)
+          .cell(format_percent(c.core_energy_savings))
+          .cell(format_percent(c.total_energy_savings))
+          .cell(format_percent(c.runtime_overhead, 2))
+          .cell(format_percent(r.gated_time_fraction()))
+          .cell(r.gating.gated_events);
+    }
+  }
+  csv ? t.print_csv(std::cout) : t.print(std::cout);
+  return 0;
+}
+
+int run_multicore(const KvConfig& kv, const std::vector<WorkloadProfile>& wls,
+                  const std::vector<std::string>& specs, bool csv) {
+  std::vector<std::string> unknown;
+  const MulticoreConfig cfg =
+      apply_multicore_config(kv, MulticoreConfig{}, &unknown);
+  for (const auto& k : unknown)
+    log_warn() << "ignoring unknown config key '" << k << "'";
+
+  const MulticoreSim sim(cfg);
+  const MulticoreResult base = sim.run(wls, "none");
+
+  Table t({"policy", "cores", "makespan", "avg_gated_time",
+           "energy_savings", "dram_read_lat", "wake_delays"});
+  for (const auto& spec : specs) {
+    MulticoreResult r;
+    try {
+      r = sim.run(wls, spec);
+    } catch (const std::exception& e) {
+      std::cerr << "policy '" << spec << "': " << e.what() << "\n";
+      return 1;
+    }
+    t.begin_row()
+        .cell(r.policy)
+        .cell(std::uint64_t{cfg.num_cores})
+        .cell(r.makespan)
+        .cell(format_percent(r.avg_gated_fraction()))
+        .cell(format_percent(1.0 - r.total_j() / base.total_j()))
+        .cell(r.dram.read_latency.mean(), 1)
+        .cell(r.wake_delayed_grants);
+  }
+  csv ? t.print_csv(std::cout) : t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  KvConfig kv;
+  const std::vector<std::string> leftovers = kv.parse_args(argc, argv);
+  for (const auto& word : leftovers) {
+    if (word == "--list" || word == "list") {
+      list_everything();
+      return 0;
+    }
+    if (word == "--help" || word == "-h") return usage();
+    std::cerr << "unrecognized argument '" << word << "'\n";
+    return usage();
+  }
+
+  if (auto cfg_path = kv.get("config")) {
+    std::ifstream is(*cfg_path);
+    if (!is) {
+      std::cerr << "cannot open config file '" << *cfg_path << "'\n";
+      return 1;
+    }
+    std::stringstream buf;
+    buf << is.rdbuf();
+    KvConfig from_file;
+    std::string err;
+    if (!from_file.parse_text(buf.str(), &err)) {
+      std::cerr << "config file error: " << err << "\n";
+      return 1;
+    }
+    // Command-line values win over file values.
+    for (const auto& [k, v] : from_file.all())
+      if (!kv.contains(k)) kv.set(k, v);
+  }
+
+  const auto workloads = resolve_workloads(kv.get_or("workload", "mcf-like"));
+  if (workloads.empty()) return 1;
+  const auto specs = resolve_policies(kv.get_or("policy", "std"));
+  if (specs.empty()) {
+    std::cerr << "no policies given\n";
+    return usage();
+  }
+  const bool csv = kv.get_bool("csv", false);
+  const auto seeds = static_cast<unsigned>(kv.get_uint("seeds", 1));
+
+  if (kv.get_uint("cores", 0) > 1)
+    return run_multicore(kv, workloads, specs, csv);
+  return run_single(kv, workloads, specs, csv, seeds);
+}

@@ -1,0 +1,155 @@
+// mapg_trace — generate, inspect, and characterize trace files.
+//
+//   mapg_trace gen --workload=mcf-like --count=1000000 --out=mcf.trc
+//   mapg_trace info --in=mcf.trc
+//   mapg_trace stats --workload=lbm-like --count=500000    # from generator
+//   mapg_trace stats --in=mcf.trc                          # from file
+//
+// `stats` reports the instruction mix, footprint, and dependency-distance
+// distribution — the knobs that determine stall structure (profile.h).
+#include <algorithm>
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "trace/generator.h"
+#include "trace/profile.h"
+#include "trace/trace_io.h"
+
+using namespace mapg;
+
+namespace {
+
+int usage() {
+  std::cout <<
+      "usage: mapg_trace <gen|info|stats> [options]\n"
+      "  gen   --workload=NAME --count=N --out=FILE [--seed=N]\n"
+      "  info  --in=FILE\n"
+      "  stats (--workload=NAME --count=N [--seed=N]) | (--in=FILE)\n";
+  return 2;
+}
+
+int cmd_gen(const KvConfig& kv) {
+  const std::string name = kv.get_or("workload", "");
+  const WorkloadProfile* p = find_profile(name);
+  if (p == nullptr) {
+    std::cerr << "unknown workload '" << name << "'\n";
+    return 1;
+  }
+  const std::uint64_t count = kv.get_uint("count", 1'000'000);
+  const std::string out = kv.get_or("out", name + ".trc");
+  TraceGenerator gen(*p, kv.get_uint("seed", 42));
+  std::string err;
+  if (!write_trace_file(out, gen, count, &err)) {
+    std::cerr << "write failed: " << err << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << count << " instructions to " << out << "\n";
+  return 0;
+}
+
+int cmd_info(const KvConfig& kv) {
+  const std::string in = kv.get_or("in", "");
+  std::vector<Instr> trace;
+  std::string err;
+  if (!read_trace_file(in, trace, &err)) {
+    std::cerr << "read failed: " << err << "\n";
+    return 1;
+  }
+  std::cout << in << ": " << trace.size() << " instructions\n";
+  return 0;
+}
+
+int run_stats(TraceSource& src, std::uint64_t limit) {
+  std::array<std::uint64_t, kNumOpClasses> mix{};
+  RunningStat dep;
+  LogHistogram dep_hist;
+  std::set<Addr> lines;
+  Addr min_addr = kNoAddr, max_addr = 0;
+  std::uint64_t n = 0, mem_ops = 0, chase_like = 0;
+
+  Instr instr;
+  while (n < limit && src.next(instr)) {
+    ++n;
+    ++mix[static_cast<std::size_t>(instr.op)];
+    if (instr.op == OpClass::kLoad || instr.op == OpClass::kStore) {
+      ++mem_ops;
+      lines.insert(instr.addr / 64);
+      min_addr = std::min(min_addr, instr.addr);
+      max_addr = std::max(max_addr, instr.addr);
+    }
+    if (instr.op == OpClass::kLoad && instr.dep_dist > 0) {
+      dep.add(instr.dep_dist);
+      dep_hist.add(instr.dep_dist);
+      if (instr.dep_dist == 1) ++chase_like;
+    }
+  }
+  if (n == 0) {
+    std::cerr << "empty trace\n";
+    return 1;
+  }
+
+  Table t({"metric", "value"});
+  t.begin_row().cell("instructions").cell(n);
+  for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+    t.begin_row()
+        .cell("mix." + std::string(op_class_name(static_cast<OpClass>(c))))
+        .cell(format_percent(static_cast<double>(mix[c]) /
+                             static_cast<double>(n)));
+  }
+  t.begin_row().cell("touched lines (64B)").cell(
+      static_cast<std::uint64_t>(lines.size()));
+  t.begin_row().cell("touched footprint").cell(
+      format_si(static_cast<double>(lines.size()) * 64) + "B");
+  if (mem_ops > 0) {
+    t.begin_row().cell("addr span").cell(
+        format_si(static_cast<double>(max_addr - min_addr)) + "B");
+  }
+  t.begin_row().cell("dep_dist mean").cell(dep.mean(), 2);
+  t.begin_row().cell("dep_dist max").cell(dep.max(), 0);
+  t.begin_row().cell("loads with dep_dist=1").cell(format_percent(
+      dep.count() ? static_cast<double>(chase_like) /
+                        static_cast<double>(dep.count())
+                  : 0.0));
+  t.print(std::cout);
+  std::cout << "\ndep_dist distribution (log buckets):\n"
+            << dep_hist.to_string();
+  return 0;
+}
+
+int cmd_stats(const KvConfig& kv) {
+  const std::uint64_t count = kv.get_uint("count", 500'000);
+  if (auto in = kv.get("in")) {
+    std::vector<Instr> trace;
+    std::string err;
+    if (!read_trace_file(*in, trace, &err)) {
+      std::cerr << "read failed: " << err << "\n";
+      return 1;
+    }
+    VectorTraceSource src(std::move(trace));
+    return run_stats(src, count);
+  }
+  const WorkloadProfile* p = find_profile(kv.get_or("workload", ""));
+  if (p == nullptr) {
+    std::cerr << "need --in=FILE or a valid --workload=NAME\n";
+    return 1;
+  }
+  TraceGenerator gen(*p, kv.get_uint("seed", 42));
+  return run_stats(gen, count);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  KvConfig kv;
+  const auto leftovers = kv.parse_args(argc, argv);
+  if (leftovers.size() != 1) return usage();
+  const std::string& cmd = leftovers[0];
+  if (cmd == "gen") return cmd_gen(kv);
+  if (cmd == "info") return cmd_info(kv);
+  if (cmd == "stats") return cmd_stats(kv);
+  return usage();
+}
