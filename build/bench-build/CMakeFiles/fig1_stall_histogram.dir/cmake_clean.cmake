@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_stall_histogram"
+  "../bench/fig1_stall_histogram.pdb"
+  "CMakeFiles/fig1_stall_histogram.dir/fig1_stall_histogram.cpp.o"
+  "CMakeFiles/fig1_stall_histogram.dir/fig1_stall_histogram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_stall_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

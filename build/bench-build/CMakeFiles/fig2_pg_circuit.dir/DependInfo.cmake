@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_pg_circuit.cpp" "bench-build/CMakeFiles/fig2_pg_circuit.dir/fig2_pg_circuit.cpp.o" "gcc" "bench-build/CMakeFiles/fig2_pg_circuit.dir/fig2_pg_circuit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mapg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pg/CMakeFiles/mapg_pg.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mapg_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mapg_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mapg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mapg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mapg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

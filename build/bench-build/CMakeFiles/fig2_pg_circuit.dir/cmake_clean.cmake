@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_pg_circuit"
+  "../bench/fig2_pg_circuit.pdb"
+  "CMakeFiles/fig2_pg_circuit.dir/fig2_pg_circuit.cpp.o"
+  "CMakeFiles/fig2_pg_circuit.dir/fig2_pg_circuit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pg_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_latency_sweep"
+  "../bench/fig3_latency_sweep.pdb"
+  "CMakeFiles/fig3_latency_sweep.dir/fig3_latency_sweep.cpp.o"
+  "CMakeFiles/fig3_latency_sweep.dir/fig3_latency_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_latency_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

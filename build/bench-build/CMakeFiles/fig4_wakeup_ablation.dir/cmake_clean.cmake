@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_wakeup_ablation"
+  "../bench/fig4_wakeup_ablation.pdb"
+  "CMakeFiles/fig4_wakeup_ablation.dir/fig4_wakeup_ablation.cpp.o"
+  "CMakeFiles/fig4_wakeup_ablation.dir/fig4_wakeup_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_wakeup_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

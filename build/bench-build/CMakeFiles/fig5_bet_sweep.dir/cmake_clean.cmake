@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_bet_sweep"
+  "../bench/fig5_bet_sweep.pdb"
+  "CMakeFiles/fig5_bet_sweep.dir/fig5_bet_sweep.cpp.o"
+  "CMakeFiles/fig5_bet_sweep.dir/fig5_bet_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bet_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_multicore"
+  "../bench/fig7_multicore.pdb"
+  "CMakeFiles/fig7_multicore.dir/fig7_multicore.cpp.o"
+  "CMakeFiles/fig7_multicore.dir/fig7_multicore.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

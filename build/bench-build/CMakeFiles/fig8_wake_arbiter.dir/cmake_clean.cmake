@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_wake_arbiter"
+  "../bench/fig8_wake_arbiter.pdb"
+  "CMakeFiles/fig8_wake_arbiter.dir/fig8_wake_arbiter.cpp.o"
+  "CMakeFiles/fig8_wake_arbiter.dir/fig8_wake_arbiter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_wake_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

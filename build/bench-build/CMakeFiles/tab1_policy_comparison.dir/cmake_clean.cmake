@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab1_policy_comparison"
+  "../bench/tab1_policy_comparison.pdb"
+  "CMakeFiles/tab1_policy_comparison.dir/tab1_policy_comparison.cpp.o"
+  "CMakeFiles/tab1_policy_comparison.dir/tab1_policy_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab2_sensitivity"
+  "../bench/tab2_sensitivity.pdb"
+  "CMakeFiles/tab2_sensitivity.dir/tab2_sensitivity.cpp.o"
+  "CMakeFiles/tab2_sensitivity.dir/tab2_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab3_ablation"
+  "../bench/tab3_ablation.pdb"
+  "CMakeFiles/tab3_ablation.dir/tab3_ablation.cpp.o"
+  "CMakeFiles/tab3_ablation.dir/tab3_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

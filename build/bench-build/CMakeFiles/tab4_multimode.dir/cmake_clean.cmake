@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab4_multimode"
+  "../bench/tab4_multimode.pdb"
+  "CMakeFiles/tab4_multimode.dir/tab4_multimode.cpp.o"
+  "CMakeFiles/tab4_multimode.dir/tab4_multimode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_multimode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

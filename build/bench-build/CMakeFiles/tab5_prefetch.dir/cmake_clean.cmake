@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab5_prefetch"
+  "../bench/tab5_prefetch.pdb"
+  "CMakeFiles/tab5_prefetch.dir/tab5_prefetch.cpp.o"
+  "CMakeFiles/tab5_prefetch.dir/tab5_prefetch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

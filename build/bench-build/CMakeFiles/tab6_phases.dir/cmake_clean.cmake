@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab6_phases"
+  "../bench/tab6_phases.pdb"
+  "CMakeFiles/tab6_phases.dir/tab6_phases.cpp.o"
+  "CMakeFiles/tab6_phases.dir/tab6_phases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab7_thermal"
+  "../bench/tab7_thermal.pdb"
+  "CMakeFiles/tab7_thermal.dir/tab7_thermal.cpp.o"
+  "CMakeFiles/tab7_thermal.dir/tab7_thermal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

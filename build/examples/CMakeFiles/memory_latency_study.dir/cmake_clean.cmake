@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_latency_study.dir/memory_latency_study.cpp.o"
+  "CMakeFiles/memory_latency_study.dir/memory_latency_study.cpp.o.d"
+  "memory_latency_study"
+  "memory_latency_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_latency_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapg_common.dir/config.cpp.o"
+  "CMakeFiles/mapg_common.dir/config.cpp.o.d"
+  "CMakeFiles/mapg_common.dir/log.cpp.o"
+  "CMakeFiles/mapg_common.dir/log.cpp.o.d"
+  "CMakeFiles/mapg_common.dir/stats.cpp.o"
+  "CMakeFiles/mapg_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mapg_common.dir/table.cpp.o"
+  "CMakeFiles/mapg_common.dir/table.cpp.o.d"
+  "libmapg_common.a"
+  "libmapg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapg_core.dir/runner.cpp.o"
+  "CMakeFiles/mapg_core.dir/runner.cpp.o.d"
+  "CMakeFiles/mapg_core.dir/sim.cpp.o"
+  "CMakeFiles/mapg_core.dir/sim.cpp.o.d"
+  "libmapg_core.a"
+  "libmapg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

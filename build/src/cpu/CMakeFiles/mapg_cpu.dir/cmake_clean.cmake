@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapg_cpu.dir/core.cpp.o"
+  "CMakeFiles/mapg_cpu.dir/core.cpp.o.d"
+  "libmapg_cpu.a"
+  "libmapg_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapg_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmapg_cpu.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapg_mem.dir/cache.cpp.o"
+  "CMakeFiles/mapg_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/mapg_mem.dir/dram.cpp.o"
+  "CMakeFiles/mapg_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/mapg_mem.dir/hierarchy.cpp.o"
+  "CMakeFiles/mapg_mem.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/mapg_mem.dir/prefetcher.cpp.o"
+  "CMakeFiles/mapg_mem.dir/prefetcher.cpp.o.d"
+  "libmapg_mem.a"
+  "libmapg_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapg_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

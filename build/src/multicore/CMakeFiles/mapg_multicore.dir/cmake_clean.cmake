@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapg_multicore.dir/config_apply.cpp.o"
+  "CMakeFiles/mapg_multicore.dir/config_apply.cpp.o.d"
+  "CMakeFiles/mapg_multicore.dir/multicore.cpp.o"
+  "CMakeFiles/mapg_multicore.dir/multicore.cpp.o.d"
+  "libmapg_multicore.a"
+  "libmapg_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapg_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

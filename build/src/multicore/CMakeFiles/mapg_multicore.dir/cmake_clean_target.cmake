@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmapg_multicore.a"
+)

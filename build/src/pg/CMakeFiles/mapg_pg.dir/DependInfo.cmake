@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pg/adaptive.cpp" "src/pg/CMakeFiles/mapg_pg.dir/adaptive.cpp.o" "gcc" "src/pg/CMakeFiles/mapg_pg.dir/adaptive.cpp.o.d"
+  "/root/repo/src/pg/factory.cpp" "src/pg/CMakeFiles/mapg_pg.dir/factory.cpp.o" "gcc" "src/pg/CMakeFiles/mapg_pg.dir/factory.cpp.o.d"
+  "/root/repo/src/pg/multimode.cpp" "src/pg/CMakeFiles/mapg_pg.dir/multimode.cpp.o" "gcc" "src/pg/CMakeFiles/mapg_pg.dir/multimode.cpp.o.d"
+  "/root/repo/src/pg/pg_controller.cpp" "src/pg/CMakeFiles/mapg_pg.dir/pg_controller.cpp.o" "gcc" "src/pg/CMakeFiles/mapg_pg.dir/pg_controller.cpp.o.d"
+  "/root/repo/src/pg/policies.cpp" "src/pg/CMakeFiles/mapg_pg.dir/policies.cpp.o" "gcc" "src/pg/CMakeFiles/mapg_pg.dir/policies.cpp.o.d"
+  "/root/repo/src/pg/wake_arbiter.cpp" "src/pg/CMakeFiles/mapg_pg.dir/wake_arbiter.cpp.o" "gcc" "src/pg/CMakeFiles/mapg_pg.dir/wake_arbiter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mapg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mapg_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mapg_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mapg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mapg_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapg_pg.dir/adaptive.cpp.o"
+  "CMakeFiles/mapg_pg.dir/adaptive.cpp.o.d"
+  "CMakeFiles/mapg_pg.dir/factory.cpp.o"
+  "CMakeFiles/mapg_pg.dir/factory.cpp.o.d"
+  "CMakeFiles/mapg_pg.dir/multimode.cpp.o"
+  "CMakeFiles/mapg_pg.dir/multimode.cpp.o.d"
+  "CMakeFiles/mapg_pg.dir/pg_controller.cpp.o"
+  "CMakeFiles/mapg_pg.dir/pg_controller.cpp.o.d"
+  "CMakeFiles/mapg_pg.dir/policies.cpp.o"
+  "CMakeFiles/mapg_pg.dir/policies.cpp.o.d"
+  "CMakeFiles/mapg_pg.dir/wake_arbiter.cpp.o"
+  "CMakeFiles/mapg_pg.dir/wake_arbiter.cpp.o.d"
+  "libmapg_pg.a"
+  "libmapg_pg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapg_pg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapg_power.dir/dram_energy.cpp.o"
+  "CMakeFiles/mapg_power.dir/dram_energy.cpp.o.d"
+  "CMakeFiles/mapg_power.dir/energy_model.cpp.o"
+  "CMakeFiles/mapg_power.dir/energy_model.cpp.o.d"
+  "CMakeFiles/mapg_power.dir/pg_circuit.cpp.o"
+  "CMakeFiles/mapg_power.dir/pg_circuit.cpp.o.d"
+  "CMakeFiles/mapg_power.dir/thermal.cpp.o"
+  "CMakeFiles/mapg_power.dir/thermal.cpp.o.d"
+  "libmapg_power.a"
+  "libmapg_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapg_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

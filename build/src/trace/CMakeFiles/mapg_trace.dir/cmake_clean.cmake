@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapg_trace.dir/generator.cpp.o"
+  "CMakeFiles/mapg_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/mapg_trace.dir/profiles.cpp.o"
+  "CMakeFiles/mapg_trace.dir/profiles.cpp.o.d"
+  "CMakeFiles/mapg_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/mapg_trace.dir/trace_io.cpp.o.d"
+  "libmapg_trace.a"
+  "libmapg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_apply.dir/test_config_apply.cpp.o"
+  "CMakeFiles/test_config_apply.dir/test_config_apply.cpp.o.d"
+  "test_config_apply"
+  "test_config_apply.pdb"
+  "test_config_apply[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

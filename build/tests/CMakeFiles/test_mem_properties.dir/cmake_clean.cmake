@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_properties.dir/test_mem_properties.cpp.o"
+  "CMakeFiles/test_mem_properties.dir/test_mem_properties.cpp.o.d"
+  "test_mem_properties"
+  "test_mem_properties.pdb"
+  "test_mem_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

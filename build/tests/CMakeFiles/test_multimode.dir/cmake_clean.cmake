@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multimode.dir/test_multimode.cpp.o"
+  "CMakeFiles/test_multimode.dir/test_multimode.cpp.o.d"
+  "test_multimode"
+  "test_multimode.pdb"
+  "test_multimode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multimode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

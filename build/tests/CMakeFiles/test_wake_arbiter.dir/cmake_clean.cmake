@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wake_arbiter.dir/test_wake_arbiter.cpp.o"
+  "CMakeFiles/test_wake_arbiter.dir/test_wake_arbiter.cpp.o.d"
+  "test_wake_arbiter"
+  "test_wake_arbiter.pdb"
+  "test_wake_arbiter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wake_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

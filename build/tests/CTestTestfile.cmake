@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_multicore[1]_include.cmake")
+include("/root/repo/build/tests/test_multimode[1]_include.cmake")
+include("/root/repo/build/tests/test_wake_arbiter[1]_include.cmake")
+include("/root/repo/build/tests/test_prefetcher[1]_include.cmake")
+include("/root/repo/build/tests/test_config_apply[1]_include.cmake")
+include("/root/repo/build/tests/test_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_analytic[1]_include.cmake")
+include("/root/repo/build/tests/test_thermal[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapg_sim.dir/mapg_sim.cpp.o"
+  "CMakeFiles/mapg_sim.dir/mapg_sim.cpp.o.d"
+  "mapg_sim"
+  "mapg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapg_tracetool.dir/mapg_tracetool.cpp.o"
+  "CMakeFiles/mapg_tracetool.dir/mapg_tracetool.cpp.o.d"
+  "mapg_tracetool"
+  "mapg_tracetool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapg_tracetool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

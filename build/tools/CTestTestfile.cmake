@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_sim_list "/root/repo/build/tools/mapg_sim" "--list")
+set_tests_properties(tool_sim_list PROPERTIES  PASS_REGULAR_EXPRESSION "mcf-like" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_run "/root/repo/build/tools/mapg_sim" "--workload=gcc-like" "--policy=mapg" "--instructions=50000" "--warmup=10000")
+set_tests_properties(tool_sim_run PROPERTIES  PASS_REGULAR_EXPRESSION "gcc-like" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_multicore "/root/repo/build/tools/mapg_sim" "--cores=2" "--workload=gcc-like" "--policy=mapg" "--instructions=30000" "--warmup=10000")
+set_tests_properties(tool_sim_multicore PROPERTIES  PASS_REGULAR_EXPRESSION "mapg" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_bad_workload "/root/repo/build/tools/mapg_sim" "--workload=nope")
+set_tests_properties(tool_sim_bad_workload PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_trace_stats "/root/repo/build/tools/mapg_tracetool" "stats" "--workload=mcf-like" "--count=20000")
+set_tests_properties(tool_trace_stats PROPERTIES  PASS_REGULAR_EXPRESSION "dep_dist mean" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
