@@ -1,5 +1,7 @@
 #include "bench_util.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 namespace mapg::bench {
@@ -7,13 +9,25 @@ namespace mapg::bench {
 BenchEnv parse_env(int argc, char** argv, std::uint64_t default_instructions,
                    std::uint64_t default_warmup) {
   KvConfig cfg;
-  cfg.parse_args(argc, argv);
+  const std::vector<std::string> leftovers = cfg.parse_args(argc, argv);
 
   BenchEnv env;
   env.sim.instructions = cfg.get_uint("instructions", default_instructions);
   env.sim.warmup_instructions = cfg.get_uint("warmup", default_warmup);
   env.sim.run_seed = cfg.get_uint("seed", 42);
   env.csv = cfg.get_bool("csv", false);
+
+  // --- Execution engine flags ---
+  env.exec.jobs = static_cast<unsigned>(cfg.get_uint("jobs", 0));
+  const char* env_cache = std::getenv("MAPG_CACHE_DIR");
+  env.exec.cache_dir =
+      cfg.get_or("cache-dir", env_cache != nullptr ? env_cache : "");
+  env.exec.use_disk_cache = !cfg.get_bool("no-cache", false);
+  for (const std::string& word : leftovers)
+    if (word == "--no-cache") env.exec.use_disk_cache = false;
+  env.exec.progress = cfg.get_bool("progress", false);
+  env.exec.log_jsonl = cfg.get_or("runlog", "");
+  env.engine = std::make_shared<ExperimentEngine>(env.exec);
   return env;
 }
 
@@ -32,6 +46,21 @@ void emit(const Table& table, const BenchEnv& env) {
   else
     table.print(std::cout);
   std::cout << "\n";
+}
+
+void report_engine(const BenchEnv& env) {
+  if (!env.engine) return;
+  const EngineStats s = env.engine->stats();
+  const CacheStatsSnapshot c = env.engine->cache().stats();
+  std::fprintf(stderr,
+               "[exec] %llu simulated, %llu cached (mem %llu / disk %llu), "
+               "%llu failed, %.0f ms sim time across %u worker(s)\n",
+               static_cast<unsigned long long>(s.jobs_run),
+               static_cast<unsigned long long>(s.jobs_cached),
+               static_cast<unsigned long long>(c.memory_hits),
+               static_cast<unsigned long long>(c.disk_hits),
+               static_cast<unsigned long long>(s.jobs_failed), s.busy_ms,
+               env.engine->options().jobs);
 }
 
 }  // namespace mapg::bench

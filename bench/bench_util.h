@@ -5,20 +5,34 @@
 //   --warmup=N         warmup instructions
 //   --seed=N           trace seed
 //   --csv=1            emit CSV instead of the aligned text table
+// Execution-engine flags (see docs/EXEC.md):
+//   --jobs=N           simulation worker threads (default: all hardware
+//                      threads; results are bit-identical for any N)
+//   --cache-dir=DIR    persistent result cache (default: $MAPG_CACHE_DIR
+//                      when set, else disabled)
+//   --no-cache         ignore the disk cache for this run
+//   --progress=1       live jobs/sec meter on stderr
+//   --runlog=FILE      append per-job JSONL telemetry to FILE
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "common/config.h"
 #include "common/table.h"
-#include "core/runner.h"
 #include "core/sim.h"
+#include "exec/engine.h"
+#include "exec/runner.h"
 
 namespace mapg::bench {
 
 struct BenchEnv {
   SimConfig sim;
   bool csv = false;
+  ExecOptions exec;
+  /// Engine built from `exec`; shared so every runner in the binary pools
+  /// threads and memoized results.
+  std::shared_ptr<ExperimentEngine> engine;
 };
 
 /// Parse argv into a SimConfig starting from the repository defaults.
@@ -31,5 +45,9 @@ void banner(const std::string& experiment_id, const std::string& title,
 
 /// Emit a finished table in the requested format.
 void emit(const Table& table, const BenchEnv& env);
+
+/// One-line engine telemetry (sims run / cached / wall time) on stderr —
+/// kept off stdout so table output stays byte-identical across --jobs=N.
+void report_engine(const BenchEnv& env);
 
 }  // namespace mapg::bench

@@ -6,6 +6,10 @@
 // savings never go negative); IdleTimeout collapses quickly because its
 // effective gated interval was already truncated by the timeout; Oracle is
 // the upper envelope.
+//
+// Two engine sweeps: baselines once per workload at the unscaled config
+// (a no-gating run never touches the PG circuit, so one baseline serves
+// every overhead scale), then the (scale x workload x policy) grid.
 #include <iostream>
 
 #include "bench_util.h"
@@ -19,30 +23,44 @@ int main(int argc, char** argv) {
   bench::banner("R-Fig.5", "savings vs break-even time (overhead scaling)",
                 env);
 
+  const std::vector<WorkloadProfile> profiles = representative_profiles();
+  const std::vector<double> scales = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  const std::vector<std::string> policies = {"mapg", "idle-timeout:64",
+                                             "oracle"};
+
+  // Baselines are independent of the PG circuit: compute once per workload.
+  SweepSpec base_sweep;
+  base_sweep.base = env.sim;
+  base_sweep.workloads = profiles;
+  base_sweep.policy_specs = {"none"};
+  const SweepResult bases = env.engine->run_sweep(base_sweep);
+
+  SweepSpec sweep;
+  sweep.base = env.sim;
+  for (const double scale : scales) {
+    SimConfig cfg = env.sim;
+    cfg.pg.overhead_scale = scale;
+    sweep.variants.emplace_back("scale=" + std::to_string(scale), cfg);
+  }
+  sweep.workloads = profiles;
+  sweep.policy_specs = policies;
+  const SweepResult grid = env.engine->run_sweep(sweep);
+
   Table t({"overhead_scale", "break_even_cycles", "workload", "policy",
            "net_leak_savings", "core_energy_savings", "gate_events",
            "unprofitable"});
 
-  // Baselines are independent of the PG circuit: compute once per workload.
-  std::map<std::string, SimResult> bases;
-  for (const auto& profile : representative_profiles())
-    bases.emplace(profile.name, Simulator(env.sim).run(profile, "none"));
-
-  for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-    SimConfig cfg = env.sim;
-    cfg.pg.overhead_scale = scale;
-    const Simulator sim(cfg);
-    const PgCircuit circuit(cfg.pg, cfg.tech);
-
-    for (const auto& profile : representative_profiles()) {
-      for (const char* spec : {"mapg", "idle-timeout:64", "oracle"}) {
-        const Comparison c =
-            score_against(bases.at(profile.name), sim.run(profile, spec));
+  for (std::size_t vi = 0; vi < scales.size(); ++vi) {
+    const PgCircuit circuit(sweep.variants[vi].second.pg, env.sim.tech);
+    for (std::size_t wi = 0; wi < profiles.size(); ++wi) {
+      for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+        const Comparison c = score_against(bases.result(0, wi, 0),
+                                           SimResult(grid.result(vi, wi, pi)));
         const SimResult& r = c.result;
         t.begin_row()
-            .cell(scale, 2)
+            .cell(scales[vi], 2)
             .cell(circuit.break_even_cycles())
-            .cell(profile.name)
+            .cell(profiles[wi].name)
             .cell(r.policy)
             .cell(format_percent(c.net_leakage_savings))
             .cell(format_percent(c.core_energy_savings))
@@ -52,5 +70,6 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(t, env);
+  bench::report_engine(env);
   return 0;
 }

@@ -5,12 +5,33 @@
 // thinning full-core stalls -> lower (but still substantial) savings on
 // loose-dependency workloads, nearly unchanged on pointer-chasing ones.
 // A bigger LLC lowers MPKI -> fewer gating opportunities.
+//
+// Each sensitivity axis is one engine sweep with config variants, so every
+// (variant x workload) cell — baseline and MAPG — runs in parallel and is
+// individually cached.
 #include <iostream>
 
 #include "bench_util.h"
 #include "trace/profile.h"
 
 using namespace mapg;
+
+namespace {
+
+/// (variant x workload) grid of baseline + mapg for the given configs.
+SweepResult run_axis(bench::BenchEnv& env,
+                     std::vector<std::pair<std::string, SimConfig>> variants,
+                     const std::vector<std::string>& workloads) {
+  SweepSpec sweep;
+  sweep.base = env.sim;
+  sweep.variants = std::move(variants);
+  for (const auto& name : workloads)
+    sweep.workloads.push_back(*find_profile(name));
+  sweep.policy_specs = {"none", "mapg"};
+  return env.engine->run_sweep(sweep);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bench::BenchEnv env = bench::parse_env(argc, argv, 1'000'000);
@@ -21,72 +42,97 @@ int main(int argc, char** argv) {
   const std::vector<std::string> workloads = {"mcf-like", "libquantum-like",
                                               "lbm-like"};
 
-  Table mlp({"mlp_window", "workload", "MPKI", "IPC", "core_energy_savings",
-             "gated_time", "mean_outstanding_at_stall"});
-  for (std::uint32_t window : {1u, 2u, 4u, 8u, 16u}) {
-    SimConfig cfg = env.sim;
-    cfg.core.mlp_window = window;
-    ExperimentRunner runner(cfg);
-    for (const auto& name : workloads) {
-      const WorkloadProfile* p = find_profile(name);
-      const Comparison c = runner.compare_one(*p, "mapg");
-      const SimResult& r = c.result;
-      mlp.begin_row()
-          .cell(std::uint64_t{window})
-          .cell(name)
-          .cell(r.mpki(), 1)
-          .cell(r.ipc(), 3)
-          .cell(format_percent(c.core_energy_savings))
-          .cell(format_percent(r.gated_time_fraction()))
-          .cell(r.core.outstanding_at_stall.mean(), 2);
+  const std::vector<std::uint32_t> windows = {1, 2, 4, 8, 16};
+  {
+    std::vector<std::pair<std::string, SimConfig>> variants;
+    for (const std::uint32_t window : windows) {
+      SimConfig cfg = env.sim;
+      cfg.core.mlp_window = window;
+      variants.emplace_back("mlp=" + std::to_string(window), cfg);
     }
-  }
-  bench::emit(mlp, env);
+    const SweepResult grid = run_axis(env, std::move(variants), workloads);
 
-  Table width({"issue_width", "workload", "IPC", "stall_time",
-               "core_energy_savings", "gated_time"});
-  for (std::uint32_t w : {1u, 2u, 4u}) {
-    SimConfig cfg = env.sim;
-    cfg.core.issue_width = w;
-    ExperimentRunner runner(cfg);
-    for (const auto& name : workloads) {
-      const WorkloadProfile* p = find_profile(name);
-      const Comparison c = runner.compare_one(*p, "mapg");
-      const SimResult& r = c.result;
-      const double stall_frac =
-          r.core.cycles ? static_cast<double>(r.core.stall_cycles_dram) /
-                              static_cast<double>(r.core.cycles)
-                        : 0.0;
-      width.begin_row()
-          .cell(std::uint64_t{w})
-          .cell(name)
-          .cell(r.ipc(), 3)
-          .cell(format_percent(stall_frac))
-          .cell(format_percent(c.core_energy_savings))
-          .cell(format_percent(r.gated_time_fraction()));
+    Table mlp({"mlp_window", "workload", "MPKI", "IPC", "core_energy_savings",
+               "gated_time", "mean_outstanding_at_stall"});
+    for (std::size_t vi = 0; vi < windows.size(); ++vi) {
+      for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const Comparison c = score_against(grid.baseline(vi, wi),
+                                           SimResult(grid.result(vi, wi, 1)));
+        const SimResult& r = c.result;
+        mlp.begin_row()
+            .cell(std::uint64_t{windows[vi]})
+            .cell(workloads[wi])
+            .cell(r.mpki(), 1)
+            .cell(r.ipc(), 3)
+            .cell(format_percent(c.core_energy_savings))
+            .cell(format_percent(r.gated_time_fraction()))
+            .cell(r.core.outstanding_at_stall.mean(), 2);
+      }
     }
+    bench::emit(mlp, env);
   }
-  bench::emit(width, env);
 
-  Table llc({"l2_size_KiB", "workload", "MPKI", "core_energy_savings",
-             "gated_time", "runtime_overhead"});
-  for (std::uint64_t kib : {256u, 512u, 1024u, 2048u, 4096u}) {
-    SimConfig cfg = env.sim;
-    cfg.mem.l2.size_bytes = kib * 1024;
-    ExperimentRunner runner(cfg);
-    for (const auto& name : workloads) {
-      const WorkloadProfile* p = find_profile(name);
-      const Comparison c = runner.compare_one(*p, "mapg");
-      const SimResult& r = c.result;
-      llc.begin_row()
-          .cell(kib)
-          .cell(name)
-          .cell(r.mpki(), 1)
-          .cell(format_percent(c.core_energy_savings))
-          .cell(format_percent(r.gated_time_fraction()))
-          .cell(format_percent(c.runtime_overhead, 2));
+  const std::vector<std::uint32_t> widths = {1, 2, 4};
+  {
+    std::vector<std::pair<std::string, SimConfig>> variants;
+    for (const std::uint32_t w : widths) {
+      SimConfig cfg = env.sim;
+      cfg.core.issue_width = w;
+      variants.emplace_back("width=" + std::to_string(w), cfg);
     }
+    const SweepResult grid = run_axis(env, std::move(variants), workloads);
+
+    Table width({"issue_width", "workload", "IPC", "stall_time",
+                 "core_energy_savings", "gated_time"});
+    for (std::size_t vi = 0; vi < widths.size(); ++vi) {
+      for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const Comparison c = score_against(grid.baseline(vi, wi),
+                                           SimResult(grid.result(vi, wi, 1)));
+        const SimResult& r = c.result;
+        const double stall_frac =
+            r.core.cycles ? static_cast<double>(r.core.stall_cycles_dram) /
+                                static_cast<double>(r.core.cycles)
+                          : 0.0;
+        width.begin_row()
+            .cell(std::uint64_t{widths[vi]})
+            .cell(workloads[wi])
+            .cell(r.ipc(), 3)
+            .cell(format_percent(stall_frac))
+            .cell(format_percent(c.core_energy_savings))
+            .cell(format_percent(r.gated_time_fraction()));
+      }
+    }
+    bench::emit(width, env);
   }
-  bench::emit(llc, env);
+
+  const std::vector<std::uint64_t> llc_kib = {256, 512, 1024, 2048, 4096};
+  {
+    std::vector<std::pair<std::string, SimConfig>> variants;
+    for (const std::uint64_t kib : llc_kib) {
+      SimConfig cfg = env.sim;
+      cfg.mem.l2.size_bytes = kib * 1024;
+      variants.emplace_back("l2=" + std::to_string(kib) + "KiB", cfg);
+    }
+    const SweepResult grid = run_axis(env, std::move(variants), workloads);
+
+    Table llc({"l2_size_KiB", "workload", "MPKI", "core_energy_savings",
+               "gated_time", "runtime_overhead"});
+    for (std::size_t vi = 0; vi < llc_kib.size(); ++vi) {
+      for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const Comparison c = score_against(grid.baseline(vi, wi),
+                                           SimResult(grid.result(vi, wi, 1)));
+        const SimResult& r = c.result;
+        llc.begin_row()
+            .cell(llc_kib[vi])
+            .cell(workloads[wi])
+            .cell(r.mpki(), 1)
+            .cell(format_percent(c.core_energy_savings))
+            .cell(format_percent(r.gated_time_fraction()))
+            .cell(format_percent(c.runtime_overhead, 2));
+      }
+    }
+    bench::emit(llc, env);
+  }
+  bench::report_engine(env);
   return 0;
 }

@@ -29,7 +29,7 @@ mkdir -p "${RESULTS}"
 for b in build/bench/*; do
   name="$(basename "$b")"
   case "$name" in
-    micro_sim_throughput)
+    micro_*)
       "$b" --benchmark_format=csv > "${RESULTS}/${name}.csv" 2>/dev/null ;;
     *)
       "$b" --csv=1 > "${RESULTS}/${name}.csv" ;;

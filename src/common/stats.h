@@ -25,6 +25,21 @@ class RunningStat {
   double max() const { return n_ ? max_ : 0.0; }
   double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
 
+  /// Raw second central moment; together with restore() this lets the
+  /// result cache (src/exec) round-trip a RunningStat bit-exactly.
+  double m2() const { return m2_; }
+  static RunningStat restore(std::uint64_t n, double mean, double m2,
+                             double min, double max) {
+    RunningStat s;
+    if (n == 0) return s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -42,6 +57,22 @@ class Histogram {
   void add(double x, std::uint64_t weight = 1);
   void merge(const Histogram& other);
 
+  /// Rebuild a histogram from serialized state (src/exec result cache);
+  /// the total is re-derived, preserving add()'s invariant.
+  static Histogram restore(double lo, double hi,
+                           std::vector<std::uint64_t> counts,
+                           std::uint64_t underflow, std::uint64_t overflow) {
+    Histogram h(lo, hi, counts.size());
+    h.counts_ = std::move(counts);
+    h.underflow_ = underflow;
+    h.overflow_ = overflow;
+    h.total_ = underflow + overflow;
+    for (const std::uint64_t c : h.counts_) h.total_ += c;
+    return h;
+  }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   std::size_t buckets() const { return counts_.size(); }
   double bucket_lo(std::size_t i) const;
   double bucket_hi(std::size_t i) const;

@@ -1,78 +1,6 @@
-// ExperimentRunner: grids of (workload x policy) with baseline-relative
-// metrics.  Every bench binary is a thin wrapper over this.
+// Compatibility shim: ExperimentRunner moved to the exec subsystem (it now
+// executes on the parallel ExperimentEngine).  Link mapg_exec and prefer
+// including "exec/runner.h" directly in new code.
 #pragma once
 
-#include <map>
-#include <string>
-#include <vector>
-
-#include "common/stats.h"
-#include "core/sim.h"
-
-namespace mapg {
-
-/// A SimResult scored against the same-workload no-gating baseline.
-struct Comparison {
-  SimResult result;
-
-  /// 1 - E_total(policy) / E_total(baseline).
-  double total_energy_savings = 0;
-  /// 1 - E_core_domain(policy) / E_core_domain(baseline) — the paper-style
-  /// headline metric (always-on cache leakage excluded from both sides).
-  double core_energy_savings = 0;
-  /// Net gated-region leakage reduction: (leak saved - PG overhead) over the
-  /// baseline gated-region leakage.
-  double net_leakage_savings = 0;
-  /// cycles(policy) / cycles(baseline) - 1.
-  double runtime_overhead = 0;
-};
-
-/// Baseline-relative metrics aggregated over independent trace seeds:
-/// mean / stdev / min / max per metric.  Replication quantifies how much of
-/// any observed difference is workload-draw noise.
-struct ReplicatedComparison {
-  std::string workload;
-  std::string policy;
-  RunningStat core_energy_savings;
-  RunningStat total_energy_savings;
-  RunningStat net_leakage_savings;
-  RunningStat runtime_overhead;
-  RunningStat mpki;
-  RunningStat ipc;
-
-  std::uint64_t replicates() const { return core_energy_savings.count(); }
-};
-
-class ExperimentRunner {
- public:
-  explicit ExperimentRunner(SimConfig config) : sim_(std::move(config)) {}
-
-  /// Run (or fetch from cache) the no-gating baseline for a workload.
-  const SimResult& baseline(const WorkloadProfile& profile);
-
-  /// Run one policy and score it against the cached baseline.
-  Comparison compare_one(const WorkloadProfile& profile,
-                         const std::string& policy_spec);
-
-  /// Run a policy list (baseline included or not) against one workload.
-  std::vector<Comparison> compare(const WorkloadProfile& profile,
-                                  const std::vector<std::string>& specs);
-
-  /// Run (workload, policy) under `n_seeds` independent trace draws
-  /// (run_seed, run_seed+1, ...), each scored against its own same-seed
-  /// baseline.  Does not touch this runner's baseline cache.
-  ReplicatedComparison replicate(const WorkloadProfile& profile,
-                                 const std::string& policy_spec,
-                                 unsigned n_seeds);
-
-  const Simulator& simulator() const { return sim_; }
-
- private:
-  Simulator sim_;
-  std::map<std::string, SimResult> baselines_;  ///< keyed by workload name
-};
-
-/// Score `result` against `base` (exposed for tests and custom harnesses).
-Comparison score_against(const SimResult& base, SimResult result);
-
-}  // namespace mapg
+#include "exec/runner.h"

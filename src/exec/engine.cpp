@@ -1,0 +1,220 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "exec/serialize.h"
+
+namespace mapg {
+
+namespace {
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const SimResult& SweepResult::result(std::size_t vi, std::size_t wi,
+                                     std::size_t pi, std::size_t si) const {
+  const JobOutcome& o = at(vi, wi, pi, si);
+  if (!o.ok)
+    throw std::runtime_error("sweep cell failed: " + o.error);
+  return *o.result;
+}
+
+const SimResult& SweepResult::baseline(std::size_t vi, std::size_t wi,
+                                       std::size_t si) const {
+  if (baseline_policy == npos)
+    throw std::runtime_error(
+        "sweep has no 'none' policy to use as a baseline");
+  return result(vi, wi, baseline_policy, si);
+}
+
+ExperimentEngine::ExperimentEngine(ExecOptions options)
+    : options_(std::move(options)),
+      cache_(std::make_unique<ResultCache>(
+          options_.use_disk_cache ? options_.cache_dir : std::string{})) {
+  if (options_.jobs == 0) options_.jobs = ThreadPool::default_threads();
+  if (!options_.log_jsonl.empty()) {
+    log_ = std::make_unique<std::ofstream>(options_.log_jsonl,
+                                           std::ios::app);
+  }
+}
+
+ExperimentEngine::~ExperimentEngine() = default;
+
+EngineStats ExperimentEngine::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+JobOutcome ExperimentEngine::execute(const ExperimentJob& job) {
+  const std::string key =
+      cache_key(job.config, job.profile, job.policy_spec);
+  const double t0 = now_ms();
+  JobOutcome out;
+
+  if (std::shared_ptr<const SimResult> hit = cache_->get(key)) {
+    out.result = std::move(hit);
+    out.ok = true;
+    out.from_cache = true;
+    out.wall_ms = now_ms() - t0;
+  } else {
+    try {
+      const Simulator sim(job.config);
+      out.result =
+          cache_->store(key, sim.run(job.profile, job.policy_spec));
+      out.ok = true;
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    } catch (...) {
+      out.error = "unknown exception";
+    }
+    out.wall_ms = now_ms() - t0;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!out.ok)
+      ++stats_.jobs_failed;
+    else if (out.from_cache)
+      ++stats_.jobs_cached;
+    else
+      ++stats_.jobs_run;
+    stats_.busy_ms += out.wall_ms;
+  }
+  log_job(job, key, out);
+  return out;
+}
+
+void ExperimentEngine::log_job(const ExperimentJob& job,
+                               const std::string& key,
+                               const JobOutcome& outcome) {
+  if (!log_) return;
+  Json line = Json::object();
+  line["key"] = Json::string(key);
+  line["workload"] = Json::string(job.profile.name);
+  line["policy"] = Json::string(job.policy_spec);
+  line["seed"] = Json::number(job.config.run_seed);
+  line["instructions"] = Json::number(job.config.instructions);
+  line["ok"] = Json::boolean(outcome.ok);
+  line["cached"] = Json::boolean(outcome.from_cache);
+  line["wall_ms"] = Json::number(outcome.wall_ms);
+  if (!outcome.ok) line["error"] = Json::string(outcome.error);
+  std::lock_guard<std::mutex> lk(mu_);
+  *log_ << line.dump() << "\n";
+  log_->flush();
+}
+
+void ExperimentEngine::progress_tick(std::size_t done, std::size_t total) {
+  if (!options_.progress) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  const double elapsed_s = (now_ms() - run_started_ms_) / 1e3;
+  const double rate = elapsed_s > 0 ? static_cast<double>(done) / elapsed_s
+                                    : 0.0;
+  std::fprintf(stderr, "\r[exec] %zu/%zu jobs  %.1f sims/s   ", done, total,
+               rate);
+  if (done == total) std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+}
+
+JobOutcome ExperimentEngine::run_one(const ExperimentJob& job) {
+  return execute(job);
+}
+
+std::vector<JobOutcome> ExperimentEngine::run(
+    const std::vector<ExperimentJob>& jobs) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    run_started_ms_ = now_ms();
+  }
+  std::vector<JobOutcome> outcomes(jobs.size());
+
+  if (options_.jobs <= 1 || jobs.size() <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      outcomes[i] = execute(jobs[i]);
+      progress_tick(i + 1, jobs.size());
+    }
+    return outcomes;
+  }
+
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.jobs);
+  std::mutex done_mu;
+  std::size_t done = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pool_->submit([this, &jobs, &outcomes, &done_mu, &done, i,
+                   total = jobs.size()] {
+      // Slot i is exclusively ours; outcome order == submission order.
+      outcomes[i] = execute(jobs[i]);
+      std::size_t d;
+      {
+        std::lock_guard<std::mutex> lk(done_mu);
+        d = ++done;
+      }
+      progress_tick(d, total);
+    });
+  }
+  pool_->wait_idle();
+  return outcomes;
+}
+
+std::vector<ExperimentJob> ExperimentEngine::expand(const SweepSpec& spec) {
+  std::vector<std::pair<std::string, SimConfig>> variants = spec.variants;
+  if (variants.empty()) variants.emplace_back("", spec.base);
+
+  std::vector<ExperimentJob> jobs;
+  jobs.reserve(variants.size() * spec.workloads.size() *
+               spec.policy_specs.size() * std::max(1u, spec.n_seeds));
+  for (const auto& [vname, vcfg] : variants) {
+    (void)vname;
+    for (const WorkloadProfile& w : spec.workloads) {
+      for (const std::string& p : spec.policy_specs) {
+        for (unsigned s = 0; s < std::max(1u, spec.n_seeds); ++s) {
+          ExperimentJob job;
+          job.config = vcfg;
+          job.config.run_seed += s;
+          job.profile = w;
+          job.policy_spec = p;
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+SweepResult ExperimentEngine::run_sweep(const SweepSpec& spec) {
+  SweepResult r;
+  r.n_variants = spec.variants.empty() ? 1 : spec.variants.size();
+  r.n_workloads = spec.workloads.size();
+  r.n_policies = spec.policy_specs.size();
+  r.n_seeds = std::max(1u, spec.n_seeds);
+  for (std::size_t i = 0; i < spec.policy_specs.size(); ++i)
+    if (spec.policy_specs[i] == "none") {
+      r.baseline_policy = i;
+      break;
+    }
+  r.outcomes = run(expand(spec));
+  return r;
+}
+
+void ExperimentEngine::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (options_.jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.jobs);
+  for (std::size_t i = 0; i < n; ++i)
+    pool_->submit([&body, i] { body(i); });
+  pool_->wait_idle();
+}
+
+}  // namespace mapg

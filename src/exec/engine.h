@@ -1,0 +1,157 @@
+// ExperimentEngine: declarative experiment sweeps, executed in parallel,
+// memoized through the persistent result cache.
+//
+// The contract that makes this safe: a Simulator run is a pure function of
+// (SimConfig, WorkloadProfile, policy spec) — instances are independent and
+// seed-deterministic.  The engine therefore (a) runs jobs on N worker
+// threads and still returns outcomes in submission order, bit-identical to
+// a serial run, and (b) keys each job by the content hash of its inputs so
+// repeated cells are simulated exactly once per cache lifetime.
+//
+// Layering: exec sits above core (it drives Simulator); nothing in core may
+// depend on exec.  ExperimentRunner (exec/runner.h) is the baseline-scoring
+// convenience layer on top of this engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sim.h"
+#include "exec/result_cache.h"
+#include "exec/thread_pool.h"
+#include "trace/profile.h"
+
+namespace mapg {
+
+struct ExecOptions {
+  /// Worker threads; 1 = run inline on the calling thread, 0 = one per
+  /// hardware thread.
+  unsigned jobs = 1;
+  /// Disk cache directory; empty = memory-only memoization.
+  std::string cache_dir;
+  /// When false, the disk tier is neither read nor written (--no-cache).
+  /// In-memory memoization stays on: it is pure dedup within one process.
+  bool use_disk_cache = true;
+  /// Live "done/total, sims/s" meter on stderr.
+  bool progress = false;
+  /// Per-job JSONL run log path; empty = off.
+  std::string log_jsonl;
+};
+
+/// One experiment cell.  The trace seed rides inside config.run_seed.
+struct ExperimentJob {
+  SimConfig config;
+  WorkloadProfile profile;
+  std::string policy_spec = "none";
+};
+
+struct JobOutcome {
+  /// Shared so baselines and repeated cells don't copy multi-KB results.
+  std::shared_ptr<const SimResult> result;
+  bool ok = false;
+  bool from_cache = false;
+  std::string error;     ///< exception text when !ok
+  double wall_ms = 0.0;  ///< this job's execution (or cache lookup) time
+};
+
+/// Declarative (variant x workload x policy x seed) grid.
+struct SweepSpec {
+  SimConfig base;
+  /// Config variants; empty means "just base".  Each entry's name labels
+  /// rows in logs; its config replaces base wholesale.
+  std::vector<std::pair<std::string, SimConfig>> variants;
+  std::vector<WorkloadProfile> workloads;
+  std::vector<std::string> policy_specs;
+  /// Seeds run_seed .. run_seed + n_seeds - 1 (per variant config).
+  unsigned n_seeds = 1;
+};
+
+/// Sweep outcomes with O(1) cell addressing in (variant, workload, policy,
+/// seed) coordinates; `outcomes` is in expansion order (variant outermost,
+/// seed innermost).
+struct SweepResult {
+  std::size_t n_variants = 1;
+  std::size_t n_workloads = 0;
+  std::size_t n_policies = 0;
+  std::size_t n_seeds = 1;
+  std::vector<JobOutcome> outcomes;
+  /// Index of the "none" policy in the spec, or npos.
+  std::size_t baseline_policy = npos;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::size_t index(std::size_t vi, std::size_t wi, std::size_t pi,
+                    std::size_t si = 0) const {
+    return ((vi * n_workloads + wi) * n_policies + pi) * n_seeds + si;
+  }
+  const JobOutcome& at(std::size_t vi, std::size_t wi, std::size_t pi,
+                       std::size_t si = 0) const {
+    return outcomes.at(index(vi, wi, pi, si));
+  }
+  /// The SimResult of a cell; throws std::runtime_error if the job failed.
+  const SimResult& result(std::size_t vi, std::size_t wi, std::size_t pi,
+                          std::size_t si = 0) const;
+  /// The same-variant same-workload same-seed "none" baseline.
+  const SimResult& baseline(std::size_t vi, std::size_t wi,
+                            std::size_t si = 0) const;
+};
+
+struct EngineStats {
+  std::uint64_t jobs_run = 0;       ///< simulations actually executed
+  std::uint64_t jobs_cached = 0;    ///< served from memory or disk cache
+  std::uint64_t jobs_failed = 0;
+  double busy_ms = 0;               ///< summed per-job wall time
+};
+
+class ExperimentEngine {
+ public:
+  explicit ExperimentEngine(ExecOptions options = {});
+  ~ExperimentEngine();
+
+  ExperimentEngine(const ExperimentEngine&) = delete;
+  ExperimentEngine& operator=(const ExperimentEngine&) = delete;
+
+  /// Run all jobs; outcomes come back in submission order regardless of
+  /// thread scheduling.  Per-job failures are reported in the outcome, not
+  /// thrown — one bad cell never tears down a sweep.
+  std::vector<JobOutcome> run(const std::vector<ExperimentJob>& jobs);
+
+  JobOutcome run_one(const ExperimentJob& job);
+
+  /// Expand in deterministic order: variant, workload, policy, seed.
+  static std::vector<ExperimentJob> expand(const SweepSpec& spec);
+
+  SweepResult run_sweep(const SweepSpec& spec);
+
+  /// Generic ordered parallel-for over [0, n) on the engine's pool — for
+  /// work the result cache cannot key (e.g. multicore simulations).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  ResultCache& cache() { return *cache_; }
+  const ExecOptions& options() const { return options_; }
+  EngineStats stats() const;
+
+ private:
+  JobOutcome execute(const ExperimentJob& job);
+  void log_job(const ExperimentJob& job, const std::string& key,
+               const JobOutcome& outcome);
+  void progress_tick(std::size_t done, std::size_t total);
+
+  ExecOptions options_;
+  std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<ThreadPool> pool_;  ///< created lazily, only when jobs > 1
+
+  mutable std::mutex mu_;
+  EngineStats stats_;
+  std::unique_ptr<std::ofstream> log_;
+  double run_started_ms_ = 0;  ///< monotonic, for the sims/sec meter
+};
+
+}  // namespace mapg

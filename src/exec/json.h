@@ -1,0 +1,89 @@
+// Minimal JSON value: parse, build, canonical dump.
+//
+// The execution engine needs a self-describing on-disk format for cached
+// SimResults and for the per-job run log, without pulling in an external
+// dependency.  This value type covers exactly what that requires:
+//   - objects keep sorted keys and dump() emits no insignificant whitespace,
+//     so the serialized form of a value is canonical (equal values => equal
+//     bytes => usable both for content hashes and equality checks);
+//   - numbers are stored as their literal token, so a std::uint64_t cycle
+//     count or a %.17g double survives a dump/parse round trip bit-exactly
+//     (no silent routing through a lossy double).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mapg {
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Json() = default;  ///< null
+
+  static Json boolean(bool v);
+  static Json number(double v);         ///< %.17g — round-trips any double
+  static Json number(std::uint64_t v);
+  static Json number(std::int64_t v);
+  static Json number(unsigned v) { return number(std::uint64_t{v}); }
+  static Json number(int v) { return number(std::int64_t{v}); }
+  /// Adopt a pre-formatted numeric literal verbatim (parser + callers that
+  /// must control the exact token, e.g. for canonical hashing).
+  static Json raw_number(std::string token);
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  // --- Scalar access (defaults returned on type mismatch) ---
+  bool as_bool(bool dflt = false) const;
+  double as_double(double dflt = 0.0) const;
+  std::uint64_t as_u64(std::uint64_t dflt = 0) const;
+  std::int64_t as_i64(std::int64_t dflt = 0) const;
+  const std::string& as_string() const;  ///< empty string on mismatch
+
+  // --- Array ---
+  void push(Json v);
+  std::size_t size() const { return arr_.size(); }
+  const Json& at(std::size_t i) const;
+
+  // --- Object ---
+  Json& operator[](const std::string& key);        ///< insert-or-get
+  const Json* find(const std::string& key) const;  ///< null if absent
+  /// find() that falls back to a shared null value — enables chained
+  /// lookups like j.get("core").get("cycles").as_u64().
+  const Json& get(const std::string& key) const;
+  const std::map<std::string, Json>& items() const { return obj_; }
+
+  /// Canonical single-line serialization (sorted keys, no whitespace).
+  std::string dump() const;
+
+  /// Strict-enough parser for everything dump() emits plus ordinary
+  /// hand-written JSON.  Returns nullopt (and sets *error) on bad input.
+  static std::optional<Json> parse(const std::string& text,
+                                   std::string* error = nullptr);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::string scalar_;  ///< number token or string payload
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+}  // namespace mapg

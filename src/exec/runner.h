@@ -1,0 +1,102 @@
+// ExperimentRunner: grids of (workload x policy) with baseline-relative
+// metrics.  Every bench binary is a thin wrapper over this.
+//
+// Since the exec subsystem landed, the runner is a scoring layer over
+// ExperimentEngine: all simulation traffic (baselines, comparisons,
+// replicated seeds) is routed through the engine, so it parallelizes across
+// the engine's worker threads and memoizes through the shared result cache.
+// Per-workload baselines live in the engine's content-addressed memory
+// tier — every runner (and bench) sharing an engine shares them.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/sim.h"
+#include "exec/engine.h"
+
+namespace mapg {
+
+/// A SimResult scored against the same-workload no-gating baseline.
+struct Comparison {
+  SimResult result;
+
+  /// 1 - E_total(policy) / E_total(baseline).
+  double total_energy_savings = 0;
+  /// 1 - E_core_domain(policy) / E_core_domain(baseline) — the paper-style
+  /// headline metric (always-on cache leakage excluded from both sides).
+  double core_energy_savings = 0;
+  /// Net gated-region leakage reduction: (leak saved - PG overhead) over the
+  /// baseline gated-region leakage.
+  double net_leakage_savings = 0;
+  /// cycles(policy) / cycles(baseline) - 1.
+  double runtime_overhead = 0;
+};
+
+/// Baseline-relative metrics aggregated over independent trace seeds:
+/// mean / stdev / min / max per metric.  Replication quantifies how much of
+/// any observed difference is workload-draw noise.
+struct ReplicatedComparison {
+  std::string workload;
+  std::string policy;
+  RunningStat core_energy_savings;
+  RunningStat total_energy_savings;
+  RunningStat net_leakage_savings;
+  RunningStat runtime_overhead;
+  RunningStat mpki;
+  RunningStat ipc;
+
+  std::uint64_t replicates() const { return core_energy_savings.count(); }
+};
+
+class ExperimentRunner {
+ public:
+  /// Without an explicit engine, a private single-threaded, memory-only
+  /// engine is created — same observable behaviour as the historical
+  /// serial runner.  Pass a shared engine (see bench_util) for parallel
+  /// execution and persistent caching.
+  explicit ExperimentRunner(SimConfig config,
+                            std::shared_ptr<ExperimentEngine> engine = {});
+
+  /// Run (or fetch from cache) the no-gating baseline for a workload.
+  const SimResult& baseline(const WorkloadProfile& profile);
+
+  /// Run one policy and score it against the cached baseline.
+  Comparison compare_one(const WorkloadProfile& profile,
+                         const std::string& policy_spec);
+
+  /// Run a policy list (baseline included or not) against one workload.
+  /// The baseline and all policies execute as one engine batch.
+  std::vector<Comparison> compare(const WorkloadProfile& profile,
+                                  const std::vector<std::string>& specs);
+
+  /// Run (workload, policy) under `n_seeds` independent trace draws
+  /// (run_seed, run_seed+1, ...), each scored against its own same-seed
+  /// baseline.  All 2*n_seeds simulations execute as one engine batch;
+  /// aggregation order is seed order, so results are scheduling-invariant.
+  ReplicatedComparison replicate(const WorkloadProfile& profile,
+                                 const std::string& policy_spec,
+                                 unsigned n_seeds);
+
+  const Simulator& simulator() const { return sim_; }
+  ExperimentEngine& engine() { return *engine_; }
+
+ private:
+  /// Unwrap an outcome, rethrowing per-job failures (bad policy specs must
+  /// keep surfacing as exceptions to preserve the historical API).
+  static const SimResult& unwrap(const JobOutcome& outcome);
+
+  Simulator sim_;  ///< kept for config() and the simulator() accessor
+  std::shared_ptr<ExperimentEngine> engine_;
+  /// Pins the shared_ptr<const SimResult> entries so baseline() can hand
+  /// out stable references; keyed by workload name.
+  std::map<std::string, std::shared_ptr<const SimResult>> baselines_;
+};
+
+/// Score `result` against `base` (exposed for tests and custom harnesses).
+Comparison score_against(const SimResult& base, SimResult result);
+
+}  // namespace mapg

@@ -1,0 +1,54 @@
+// SimResult <-> JSON and the content-addressed cache key scheme.
+//
+// Two jobs, both in service of the persistent result cache (see
+// docs/EXEC.md):
+//
+//  1. Exact serialization.  result_to_json / result_from_json cover every
+//     field of SimResult — including histograms and running moments — such
+//     that from(to(r)) reproduces r bit-for-bit (doubles are emitted with
+//     %.17g, integers as decimal literals).  Equality of two results can
+//     therefore be checked as equality of their canonical dumps.
+//
+//  2. Canonical experiment identity.  An experiment cell is the triple
+//     (SimConfig, WorkloadProfile, policy spec); the trace seed lives inside
+//     SimConfig.run_seed.  cache_key() hashes a canonical JSON encoding of
+//     ALL fields of that triple (plus a schema-version tag, bumped whenever
+//     the encoding or simulator semantics change) into a 128-bit hex key.
+//     Any config/profile/policy/seed difference => different key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/sim.h"
+#include "exec/json.h"
+
+namespace mapg {
+
+/// Bump when the serialized form or the meaning of cached results changes;
+/// old cache entries are then simply never matched again.
+inline constexpr int kExecSchemaVersion = 1;
+
+// --- Results ---
+Json result_to_json(const SimResult& r);
+/// Throws std::runtime_error on a malformed / wrong-schema document.
+SimResult result_from_json(const Json& j);
+
+/// Field-exact equality via canonical serialization.
+bool results_equal(const SimResult& a, const SimResult& b);
+
+// --- Experiment identity ---
+/// Canonical JSON object naming every field of the experiment cell.
+Json experiment_identity(const SimConfig& config,
+                         const WorkloadProfile& profile,
+                         const std::string& policy_spec);
+
+/// 32-hex-char content hash of experiment_identity(...).dump().
+std::string cache_key(const SimConfig& config, const WorkloadProfile& profile,
+                      const std::string& policy_spec);
+
+/// 64-bit FNV-1a over a byte string (exposed for tests).
+std::uint64_t fnv1a64(const std::string& bytes,
+                      std::uint64_t seed = 14695981039346656037ULL);
+
+}  // namespace mapg

@@ -1,0 +1,98 @@
+#include "exec/thread_pool.h"
+
+#include <chrono>
+
+namespace mapg {
+
+unsigned ThreadPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = default_threads();
+  queues_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    queues_.push_back(std::make_unique<Worker>());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++pending_;
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lk(queues_[target]->mu);
+    queues_[target]->deque.push_back(std::move(task));
+  }
+  work_.notify_one();
+}
+
+bool ThreadPool::try_get_task(std::size_t self, std::function<void()>& out) {
+  // Own deque first, newest-first.
+  {
+    Worker& w = *queues_[self];
+    std::lock_guard<std::mutex> lk(w.mu);
+    if (!w.deque.empty()) {
+      out = std::move(w.deque.back());
+      w.deque.pop_back();
+      return true;
+    }
+  }
+  // Steal oldest-first from the other workers.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Worker& v = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lk(v.mu);
+    if (!v.deque.empty()) {
+      out = std::move(v.deque.front());
+      v.deque.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_get_task(self, task)) {
+      try {
+        task();
+      } catch (...) {
+        // Job bodies catch their own exceptions (see engine.cpp); anything
+        // reaching here is contained so one bad task can't kill the pool.
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) idle_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stop_) return;
+    // Re-check under the lock via the pending counter: if work remains,
+    // retry immediately instead of sleeping through the missed signal.
+    work_.wait_for(lk, std::chrono::milliseconds(10));
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_.wait(lk, [this] { return pending_ == 0; });
+}
+
+}  // namespace mapg

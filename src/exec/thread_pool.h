@@ -1,0 +1,67 @@
+// Work-stealing thread pool for independent simulation jobs.
+//
+// Each worker owns a deque: it pushes/pops its own work LIFO (cache-warm)
+// and steals FIFO from a victim when empty (oldest task first, the classic
+// work-stealing discipline).  External submissions are dealt round-robin
+// across the worker deques so a large sweep starts balanced even before
+// stealing kicks in.
+//
+// Tasks are opaque void() closures; result ordering is the caller's problem
+// (the ExperimentEngine writes results into pre-allocated slots, so sweep
+// output order never depends on scheduling).  A task that throws is the
+// caller's bug — the engine wraps every job body in its own try/catch — but
+// the pool still contains it rather than calling std::terminate.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mapg {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 selects default_threads().
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task.  Thread-safe (including from inside a task).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Hardware concurrency, clamped to at least 1.
+  static unsigned default_threads();
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> deque;  ///< guarded by `mu`
+    std::mutex mu;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_get_task(std::size_t self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                 ///< guards the counters below
+  std::condition_variable work_;  ///< signalled on submit and shutdown
+  std::condition_variable idle_;  ///< signalled when pending_ hits zero
+  std::size_t pending_ = 0;       ///< submitted but not yet finished
+  std::size_t next_queue_ = 0;    ///< round-robin submission cursor
+  bool stop_ = false;
+};
+
+}  // namespace mapg

@@ -47,7 +47,8 @@ void collect_unknown(const KvConfig& kv, bool with_multicore,
   if (unknown == nullptr) return;
   // Keys owned by front-end tools, not by the platform configuration.
   static const std::set<std::string> tool_keys = {
-      "config", "workload", "policy", "csv", "seeds", "list", "help"};
+      "config", "workload", "policy",   "csv",      "seeds", "list",
+      "help",   "jobs",     "cache-dir", "no-cache", "progress", "runlog"};
   for (const auto& [key, value] : kv.all()) {
     (void)value;
     if (key.rfind("run.", 0) == 0) continue;  // reserved for tools

@@ -1,0 +1,404 @@
+// Unit tests for src/exec: canonical JSON, exact SimResult serialization,
+// the content-addressed result cache, the work-stealing pool, and the
+// determinism contract of ExperimentEngine (parallel == serial, bit for
+// bit; per-job failures never tear down a sweep).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/sim.h"
+#include "exec/engine.h"
+#include "exec/json.h"
+#include "exec/result_cache.h"
+#include "exec/runner.h"
+#include "exec/serialize.h"
+#include "exec/thread_pool.h"
+#include "trace/profile.h"
+
+namespace mapg {
+namespace {
+
+SimConfig tiny_config() {
+  SimConfig cfg;
+  cfg.instructions = 20'000;
+  cfg.warmup_instructions = 5'000;
+  return cfg;
+}
+
+SimResult run_tiny(const std::string& workload = "mcf-like",
+                   const std::string& spec = "mapg") {
+  return Simulator(tiny_config()).run(*find_profile(workload), spec);
+}
+
+// --- Json ---
+
+TEST(Json, CanonicalDumpSortsKeysAndPreservesNumberTokens) {
+  Json obj = Json::object();
+  obj["zeta"] = Json::number(std::uint64_t{18446744073709551615ULL});
+  obj["alpha"] = Json::number(0.1);
+  obj["mid"] = Json::array();
+  obj["mid"].push(Json::string("a\"b\n"));
+  const std::string text = obj.dump();
+  // Keys come out sorted regardless of insertion order.
+  EXPECT_LT(text.find("\"alpha\""), text.find("\"mid\""));
+  EXPECT_LT(text.find("\"mid\""), text.find("\"zeta\""));
+  // Max u64 survives (would be destroyed by a double round-trip).
+  EXPECT_NE(text.find("18446744073709551615"), std::string::npos);
+}
+
+TEST(Json, ParseRoundTripsCanonicalForm) {
+  const std::string text =
+      "{\"a\":[1,2.5,-3],\"b\":{\"x\":true,\"y\":null},\"s\":\"q\\\"\\n\"}";
+  std::string err;
+  const std::optional<Json> parsed = Json::parse(text, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  const Json& j = *parsed;
+  EXPECT_EQ(j.dump(), text);
+  EXPECT_EQ(j.get("a").at(0).as_u64(), 1u);
+  EXPECT_DOUBLE_EQ(j.get("a").at(1).as_double(), 2.5);
+  EXPECT_EQ(j.get("a").at(2).as_i64(), -3);
+  EXPECT_TRUE(j.get("b").get("x").as_bool());
+  EXPECT_EQ(j.get("s").as_string(), "q\"\n");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  for (const char* bad : {"{", "[1,]", "{\"a\":}", "tru", "\"unterminated",
+                          "{\"a\":1} trailing"}) {
+    std::string err;
+    EXPECT_FALSE(Json::parse(bad, &err).has_value()) << "accepted: " << bad;
+  }
+}
+
+// --- Serialization ---
+
+TEST(Serialize, ResultRoundTripIsBitExact) {
+  const SimResult r = run_tiny();
+  const SimResult back = result_from_json(result_to_json(r));
+  EXPECT_TRUE(results_equal(r, back));
+  // Spot-check a few fields the dump comparison already covers, for a
+  // readable failure if the canonical form ever drifts.
+  EXPECT_EQ(back.core.cycles, r.core.cycles);
+  EXPECT_EQ(back.gating.gated_events, r.gating.gated_events);
+  EXPECT_DOUBLE_EQ(back.energy.dynamic_j, r.energy.dynamic_j);
+  EXPECT_EQ(back.core.dram_stall_hist.total(),
+            r.core.dram_stall_hist.total());
+}
+
+TEST(Serialize, RoundTripSurvivesTextReparse) {
+  const SimResult r = run_tiny("libquantum-like", "oracle");
+  std::string err;
+  const std::optional<Json> parsed =
+      Json::parse(result_to_json(r).dump(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_TRUE(results_equal(r, result_from_json(*parsed)));
+}
+
+TEST(Serialize, CacheKeyIsStableAndWellFormed) {
+  const SimConfig cfg = tiny_config();
+  const WorkloadProfile& p = *find_profile("mcf-like");
+  const std::string key = cache_key(cfg, p, "mapg");
+  EXPECT_EQ(key.size(), 32u);
+  EXPECT_EQ(key.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(cache_key(cfg, p, "mapg"), key);  // deterministic
+}
+
+TEST(Serialize, CacheKeySensitiveToEveryIdentityComponent) {
+  const SimConfig cfg = tiny_config();
+  const WorkloadProfile& p = *find_profile("mcf-like");
+  const std::string base = cache_key(cfg, p, "mapg");
+
+  // Config change.
+  SimConfig cfg2 = cfg;
+  cfg2.core.mlp_window += 1;
+  EXPECT_NE(cache_key(cfg2, p, "mapg"), base);
+  SimConfig cfg3 = cfg;
+  cfg3.pg.overhead_scale *= 2.0;
+  EXPECT_NE(cache_key(cfg3, p, "mapg"), base);
+
+  // Profile change (behavioural field and a different builtin).
+  WorkloadProfile p2 = p;
+  p2.p_pointer_chase += 0.01;
+  EXPECT_NE(cache_key(cfg, p2, "mapg"), base);
+  EXPECT_NE(cache_key(cfg, *find_profile("lbm-like"), "mapg"), base);
+
+  // Policy change.
+  EXPECT_NE(cache_key(cfg, p, "mapg:alpha=0.5"), base);
+  EXPECT_NE(cache_key(cfg, p, "none"), base);
+
+  // Seed change.
+  SimConfig cfg4 = cfg;
+  cfg4.run_seed += 1;
+  EXPECT_NE(cache_key(cfg4, p, "mapg"), base);
+}
+
+TEST(Serialize, CacheKeyIgnoresCosmeticDescription) {
+  const SimConfig cfg = tiny_config();
+  WorkloadProfile p = *find_profile("mcf-like");
+  const std::string base = cache_key(cfg, p, "mapg");
+  p.description = "reworded";
+  EXPECT_EQ(cache_key(cfg, p, "mapg"), base);
+}
+
+// --- ResultCache ---
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("mapg_test_" + tag + "_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(ResultCache, MemoryRoundTripReturnsEqualResult) {
+  ResultCache cache;  // memory-only
+  const SimResult r = run_tiny();
+  cache.store("k1", r);
+  const auto hit = cache.get("k1");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(results_equal(*hit, r));
+  EXPECT_EQ(cache.get("absent"), nullptr);
+  const CacheStatsSnapshot s = cache.stats();
+  EXPECT_EQ(s.memory_hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.stores, 1u);
+}
+
+TEST(ResultCache, DiskRoundTripReturnsEqualResult) {
+  TempDir dir("cache_rt");
+  const SimResult r = run_tiny("lbm-like", "idle-timeout:64");
+  {
+    ResultCache cache(dir.str());
+    cache.store("deadbeef", r);
+    EXPECT_TRUE(std::filesystem::exists(dir.path() / "deadbeef.json"));
+  }
+  // A fresh cache object (fresh process, morally) must reload it from disk.
+  ResultCache cache(dir.str());
+  const auto hit = cache.get("deadbeef");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(results_equal(*hit, r));
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  // The disk hit was promoted into memory.
+  cache.get("deadbeef");
+  EXPECT_EQ(cache.stats().memory_hits, 1u);
+}
+
+TEST(ResultCache, CorruptDiskEntryIsAMissNotACrash) {
+  TempDir dir("cache_corrupt");
+  ResultCache cache(dir.str());
+  cache.store("good", run_tiny());
+  std::filesystem::create_directories(dir.path());
+  std::ofstream(dir.path() / "bad.json") << "{not json";
+  cache.clear_memory();
+  EXPECT_EQ(cache.get("bad"), nullptr);
+  EXPECT_GE(cache.stats().disk_errors, 1u);
+  ASSERT_NE(cache.get("good"), nullptr);  // disk tier still healthy
+}
+
+// --- ThreadPool ---
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 500; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, SurvivesThrowingTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i)
+    pool.submit([&count, i] {
+      if (i % 2 == 0) throw std::runtime_error("boom");
+      ++count;
+    });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 25);
+}
+
+// --- ExperimentEngine ---
+
+SweepSpec test_sweep(unsigned n_seeds = 4) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.workloads = {*find_profile("mcf-like"), *find_profile("lbm-like"),
+                    *find_profile("gamess-like")};
+  spec.policy_specs = {"none", "mapg", "idle-timeout:64"};
+  spec.n_seeds = n_seeds;
+  return spec;
+}
+
+TEST(ExperimentEngine, ExpansionOrderAndShape) {
+  const SweepSpec spec = test_sweep(2);
+  const auto jobs = ExperimentEngine::expand(spec);
+  ASSERT_EQ(jobs.size(), 3u * 3u * 2u);
+  // Seed is innermost, then policy, then workload.
+  EXPECT_EQ(jobs[0].profile.name, "mcf-like");
+  EXPECT_EQ(jobs[0].policy_spec, "none");
+  EXPECT_EQ(jobs[0].config.run_seed, spec.base.run_seed);
+  EXPECT_EQ(jobs[1].config.run_seed, spec.base.run_seed + 1);
+  EXPECT_EQ(jobs[2].policy_spec, "mapg");
+  EXPECT_EQ(jobs[6].profile.name, "lbm-like");
+}
+
+TEST(ExperimentEngine, ParallelSweepBitIdenticalToSerial) {
+  const SweepSpec spec = test_sweep(4);  // 3 workloads x 3 policies x 4 seeds
+
+  ExecOptions serial_opts;
+  serial_opts.jobs = 1;
+  ExperimentEngine serial(serial_opts);
+  const SweepResult a = serial.run_sweep(spec);
+
+  ExecOptions parallel_opts;
+  parallel_opts.jobs = 8;
+  ExperimentEngine parallel(parallel_opts);
+  const SweepResult b = parallel.run_sweep(spec);
+
+  ASSERT_EQ(a.outcomes.size(), 36u);
+  ASSERT_EQ(b.outcomes.size(), a.outcomes.size());
+  EXPECT_EQ(a.baseline_policy, 0u);
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    ASSERT_TRUE(a.outcomes[i].ok) << "serial job " << i << ": "
+                                  << a.outcomes[i].error;
+    ASSERT_TRUE(b.outcomes[i].ok) << "parallel job " << i << ": "
+                                  << b.outcomes[i].error;
+    EXPECT_TRUE(results_equal(*a.outcomes[i].result, *b.outcomes[i].result))
+        << "job " << i << " diverged between --jobs=1 and --jobs=8";
+  }
+}
+
+TEST(ExperimentEngine, MemoizesRepeatedCellsWithinProcess) {
+  ExperimentEngine engine;
+  const ExperimentJob job{tiny_config(), *find_profile("mcf-like"), "mapg"};
+  const JobOutcome first = engine.run_one(job);
+  ASSERT_TRUE(first.ok);
+  EXPECT_FALSE(first.from_cache);
+  const JobOutcome again = engine.run_one(job);
+  ASSERT_TRUE(again.ok);
+  EXPECT_TRUE(again.from_cache);
+  EXPECT_EQ(again.result.get(), first.result.get());  // shared, not copied
+  EXPECT_EQ(engine.stats().jobs_run, 1u);
+  EXPECT_EQ(engine.stats().jobs_cached, 1u);
+}
+
+TEST(ExperimentEngine, WarmDiskCacheRunsZeroSimulations) {
+  TempDir dir("engine_warm");
+  const SweepSpec spec = test_sweep(1);
+
+  ExecOptions opts;
+  opts.jobs = 4;
+  opts.cache_dir = dir.str();
+  {
+    ExperimentEngine cold(opts);
+    cold.run_sweep(spec);
+    EXPECT_EQ(cold.stats().jobs_run, 9u);
+  }
+  // Fresh engine, same directory: everything must come off disk.
+  ExperimentEngine warm(opts);
+  const SweepResult r = warm.run_sweep(spec);
+  EXPECT_EQ(warm.stats().jobs_run, 0u);
+  EXPECT_EQ(warm.stats().jobs_cached, 9u);
+  for (const auto& o : r.outcomes) {
+    EXPECT_TRUE(o.ok);
+    EXPECT_TRUE(o.from_cache);
+  }
+}
+
+TEST(ExperimentEngine, NoCacheOptionSkipsDiskTier) {
+  TempDir dir("engine_nocache");
+  ExecOptions opts;
+  opts.cache_dir = dir.str();
+  opts.use_disk_cache = false;
+  ExperimentEngine engine(opts);
+  engine.run_one({tiny_config(), *find_profile("mcf-like"), "mapg"});
+  EXPECT_FALSE(std::filesystem::exists(dir.path()));
+}
+
+TEST(ExperimentEngine, ThrowingJobReportedWithoutTearingDownSweep) {
+  SweepSpec spec = test_sweep(1);
+  spec.policy_specs = {"none", "mapg", "definitely-not-a-policy"};
+
+  ExecOptions opts;
+  opts.jobs = 4;
+  ExperimentEngine engine(opts);
+  const SweepResult r = engine.run_sweep(spec);
+
+  ASSERT_EQ(r.outcomes.size(), 9u);
+  for (std::size_t wi = 0; wi < 3; ++wi) {
+    EXPECT_TRUE(r.at(0, wi, 0).ok);   // none
+    EXPECT_TRUE(r.at(0, wi, 1).ok);   // mapg
+    const JobOutcome& bad = r.at(0, wi, 2);
+    EXPECT_FALSE(bad.ok);
+    EXPECT_EQ(bad.result, nullptr);
+    EXPECT_FALSE(bad.error.empty());
+  }
+  EXPECT_EQ(engine.stats().jobs_failed, 3u);
+  // result() surfaces the stored error as an exception on demand.
+  EXPECT_THROW(r.result(0, 0, 2), std::runtime_error);
+  EXPECT_NO_THROW(r.baseline(0, 0));
+}
+
+TEST(ExperimentEngine, ParallelForCoversRangeOnce) {
+  ExecOptions opts;
+  opts.jobs = 4;
+  ExperimentEngine engine(opts);
+  std::vector<int> hits(1000, 0);
+  engine.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+// --- ExperimentRunner on the engine ---
+
+TEST(ExperimentRunner, SharesBaselinesThroughEngineCache) {
+  auto engine = std::make_shared<ExperimentEngine>();
+  ExperimentRunner runner(tiny_config(), engine);
+  const WorkloadProfile& p = *find_profile("mcf-like");
+  runner.compare_one(p, "mapg");
+  const std::uint64_t runs_after_first = engine->stats().jobs_run;
+  runner.compare_one(p, "idle-timeout:64");
+  // Second comparison reuses the memoized "none" baseline: exactly one new
+  // simulation, not two.
+  EXPECT_EQ(engine->stats().jobs_run, runs_after_first + 1);
+}
+
+TEST(ExperimentRunner, ReplicateMatchesDirectSeedRuns) {
+  auto engine = std::make_shared<ExperimentEngine>();
+  SimConfig cfg = tiny_config();
+  ExperimentRunner runner(cfg, engine);
+  const WorkloadProfile& p = *find_profile("lbm-like");
+  const ReplicatedComparison rep = runner.replicate(p, "mapg", 3);
+  EXPECT_EQ(rep.replicates(), 3u);
+
+  // Recompute one replicate by hand and check it is inside the observed
+  // min/max (it is literally one of the three samples).
+  SimConfig c1 = cfg;
+  c1.run_seed += 1;
+  const Simulator sim(c1);
+  const SimResult base = sim.run(p, "none");
+  const SimResult gated = sim.run(p, "mapg");
+  const double savings =
+      1.0 - gated.energy.core_domain_j() / base.energy.core_domain_j();
+  EXPECT_LE(rep.core_energy_savings.min(), savings + 1e-12);
+  EXPECT_GE(rep.core_energy_savings.max(), savings - 1e-12);
+}
+
+}  // namespace
+}  // namespace mapg

@@ -9,13 +9,15 @@
 //   mapg_sim --cores=8 --workload=mcf-like,gamess-like --policy=mapg
 // Any platform key from multicore/config_apply.h can be given either in the
 // --config file or directly on the command line (e.g. --l2.size_kib=2048).
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "common/log.h"
 #include "common/table.h"
-#include "core/runner.h"
+#include "exec/engine.h"
+#include "exec/runner.h"
 #include "multicore/config_apply.h"
 #include "multicore/multicore.h"
 #include "pg/factory.h"
@@ -24,6 +26,19 @@
 using namespace mapg;
 
 namespace {
+
+/// Build the shared execution engine from the tool-namespace flags.
+std::shared_ptr<ExperimentEngine> make_engine(const KvConfig& kv) {
+  ExecOptions opts;
+  opts.jobs = static_cast<unsigned>(kv.get_uint("jobs", 0));
+  const char* env_cache = std::getenv("MAPG_CACHE_DIR");
+  opts.cache_dir =
+      kv.get_or("cache-dir", env_cache != nullptr ? env_cache : "");
+  opts.use_disk_cache = !kv.get_bool("no-cache", false);
+  opts.progress = kv.get_bool("progress", false);
+  opts.log_jsonl = kv.get_or("runlog", "");
+  return std::make_shared<ExperimentEngine>(opts);
+}
 
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
@@ -44,6 +59,12 @@ int usage() {
       "  --seeds=N                       replicate over N trace seeds\n"
       "  --thermal.enable=1              leakage-temperature feedback mode\n"
       "  --instructions=N --warmup=N --seed=N\n"
+      "  --jobs=N                        worker threads (default: all cores)\n"
+      "  --cache-dir=DIR                 persistent result cache\n"
+      "                                  (default: $MAPG_CACHE_DIR)\n"
+      "  --no-cache=1                    skip the disk cache this run\n"
+      "  --progress=1                    live job meter on stderr\n"
+      "  --runlog=FILE                   append per-job JSONL telemetry\n"
       "  --csv=1                         CSV output\n"
       "  --list                          available workloads and policies\n";
   return 2;
@@ -116,7 +137,8 @@ int run_single(const KvConfig& kv, const std::vector<WorkloadProfile>& wls,
     return 0;
   }
 
-  ExperimentRunner runner(cfg);
+  std::shared_ptr<ExperimentEngine> engine = make_engine(kv);
+  ExperimentRunner runner(cfg, engine);
   if (seeds > 1) {
     Table t({"workload", "policy", "core_savings_mean", "core_savings_stdev",
              "overhead_mean", "overhead_max", "mpki_mean", "seeds"});
