@@ -15,6 +15,7 @@ BenchEnv parse_env(int argc, char** argv, std::uint64_t default_instructions,
   env.sim.instructions = cfg.get_uint("instructions", default_instructions);
   env.sim.warmup_instructions = cfg.get_uint("warmup", default_warmup);
   env.sim.run_seed = cfg.get_uint("seed", 42);
+  env.sim.fast_forward = cfg.get_bool("fast-forward", true);
   env.csv = cfg.get_bool("csv", false);
 
   // --- Execution engine flags ---

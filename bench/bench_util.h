@@ -4,6 +4,9 @@
 //   --instructions=N   measured instructions per run (default per-bench)
 //   --warmup=N         warmup instructions
 //   --seed=N           trace seed
+//   --fast-forward=0   tick stall windows cycle-by-cycle instead of the
+//                      closed-form fast path (bit-identical, much slower;
+//                      see bench/micro_ff_speedup.cpp)
 //   --csv=1            emit CSV instead of the aligned text table
 // Execution-engine flags (see docs/EXEC.md):
 //   --jobs=N           simulation worker threads (default: all hardware

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Regenerate the pinned golden table in tests/test_golden.cpp.
+#
+#   scripts/update_goldens.sh [build_dir]
+#
+# Builds test_golden, reruns every table cell with MAPG_UPDATE_GOLDENS=1,
+# and splices the freshly printed rows between the GOLDEN-BEGIN/GOLDEN-END
+# markers.  Run this ONLY after an intentional model change, then regenerate
+# EXPERIMENTS.md and re-run the full suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+SRC=tests/test_golden.cpp
+
+if [ ! -d "$BUILD" ]; then
+  cmake -B "$BUILD" -S .
+fi
+cmake --build "$BUILD" --target test_golden -j
+
+ROWS="$(mktemp)"
+trap 'rm -f "$ROWS"' EXIT
+
+# Only the regeneration output lines are source-literal rows: '      {"...'.
+MAPG_UPDATE_GOLDENS=1 "$BUILD"/tests/test_golden \
+    --gtest_filter='Golden.PinnedResultTable' |
+  grep -E '^[[:space:]]*\{"' > "$ROWS"
+
+N="$(wc -l < "$ROWS")"
+if [ "$N" -eq 0 ]; then
+  echo "error: regeneration produced no rows" >&2
+  exit 1
+fi
+
+# Anchor on the marker comments themselves (not prose mentioning them).
+awk -v rows="$ROWS" '
+  /^[[:space:]]*\/\/ GOLDEN-BEGIN/ {
+    print; while ((getline line < rows) > 0) print line; skipping = 1; next }
+  /^[[:space:]]*\/\/ GOLDEN-END/ { skipping = 0 }
+  !skipping { print }
+' "$SRC" > "$SRC.tmp"
+mv "$SRC.tmp" "$SRC"
+
+echo "spliced $N golden rows into $SRC; rebuild and re-run the suite:"
+echo "  cmake --build $BUILD --target test_golden -j && $BUILD/tests/test_golden"

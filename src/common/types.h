@@ -34,4 +34,15 @@ constexpr Cycle cycle_add(Cycle a, Cycle b) {
 /// Difference that clamps at zero instead of wrapping.
 constexpr Cycle cycle_sub_sat(Cycle a, Cycle b) { return a > b ? a - b : 0; }
 
+/// How the simulator advances time across a full-core stall window.
+///
+/// kFastForward resolves the whole window in closed form (MAPG's own
+/// observation applied to the simulator: once the DRAM column command is
+/// scheduled the stall's end time is deterministic, so there is nothing to
+/// discover by ticking through it).  kCycleAccurate walks the window one
+/// cycle at a time through per-component tick() dispatch and is the
+/// reference the fast path is proven bit-identical against
+/// (tests/test_differential.cpp).
+enum class StepMode : std::uint8_t { kFastForward = 0, kCycleAccurate = 1 };
+
 }  // namespace mapg

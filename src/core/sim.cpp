@@ -3,8 +3,25 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "power/interval_energy.h"
+
 namespace mapg {
 namespace {
+
+/// Stall-kernel inputs derived from the platform configuration: stepping
+/// mode, DRAM refresh timing for the overlap meter, per-cycle energy rates
+/// for the window-energy cross-check.
+StallKernelParams make_kernel_params(const SimConfig& config,
+                                     const PgCircuit& circuit) {
+  StallKernelParams p;
+  p.mode = config.fast_forward ? StepMode::kFastForward
+                               : StepMode::kCycleAccurate;
+  p.t_refi = config.mem.dram.t_refi;
+  p.t_rfc = config.mem.dram.t_rfc;
+  p.rates = StallEnergyRates::make(config.tech, circuit, config.dram_energy,
+                                   config.mem.dram.channels);
+  return p;
+}
 
 /// Scalar-only snapshot of the stats the thermal epoch loop differences.
 struct EpochSnap {
@@ -55,8 +72,10 @@ SimResult Simulator::run(TraceSource& trace, const std::string& workload_name,
                          PgPolicy& policy) const {
   const PgCircuit circuit(config_.pg, config_.tech);
   MemoryHierarchy mem(config_.mem);
-  PgController controller(policy, circuit);
+  const StallKernelParams kparams = make_kernel_params(config_, circuit);
+  PgController controller(policy, circuit, nullptr, kparams);
   Core core(config_.core, mem, &controller);
+  core.set_step_mode(kparams.mode);
 
   // Warmup: populate caches, open DRAM rows, and let streams reach steady
   // state before measurement.  Gating runs during warmup too (so PG state is
@@ -104,48 +123,27 @@ ThermalResult Simulator::run_thermal(TraceSource& trace,
                                      PgPolicy& policy) const {
   const PgCircuit circuit(config_.pg, config_.tech);
   MemoryHierarchy mem(config_.mem);
-  PgController controller(policy, circuit);
+  const StallKernelParams kparams = make_kernel_params(config_, circuit);
+  PgController controller(policy, circuit, nullptr, kparams);
   Core core(config_.core, mem, &controller);
+  core.set_step_mode(kparams.mode);
   ThermalModel thermal(config_.thermal, config_.tech);
   const TechParams& tech = config_.tech;
-  const double light_frac = circuit.save_fraction(SleepMode::kLight);
 
-  // Per-epoch energy of the core hot-spot domain, at the CURRENT leakage
-  // multiplier; also drives the thermal node.
-  auto epoch_energy_j = [&](const EpochSnap& a, const EpochSnap& b,
-                            double mult) {
-    double dyn = 0;
+  // Difference two snapshots into the closed-form interval-energy input
+  // (power/interval_energy.h does the joule conversion).
+  auto delta = [](const EpochSnap& a, const EpochSnap& b) {
+    IntervalActivity d;
+    d.cycles = b.cycles - a.cycles;
+    d.idle_cycles = b.idle - a.idle;
+    d.pg_phase_cycles = b.pg_phase - a.pg_phase;
+    d.deep_gated_cycles = b.deep_gated - a.deep_gated;
+    d.light_gated_cycles = b.light_gated - a.light_gated;
+    d.deep_transitions = b.deep_tr - a.deep_tr;
+    d.light_transitions = b.light_tr - a.light_tr;
     for (std::size_t c = 0; c < kNumOpClasses; ++c)
-      dyn += static_cast<double>(b.instr[c] - a.instr[c]) *
-             tech.dyn_energy_nj[c] * 1e-9;
-    const double dt_cycles = static_cast<double>(b.cycles - a.cycles);
-    const double eff_gated =
-        static_cast<double>(b.deep_gated - a.deep_gated) +
-        light_frac * static_cast<double>(b.light_gated - a.light_gated);
-    const double leak =
-        mult * (tech.core_leakage_w * tech.cycles_to_seconds(dt_cycles) -
-                tech.savable_leakage_w() * tech.cycles_to_seconds(eff_gated));
-    const double idle_ungated = static_cast<double>(
-        (b.idle - a.idle) - (b.pg_phase - a.pg_phase));
-    const double idle_clock =
-        tech.idle_clock_w * tech.cycles_to_seconds(idle_ungated);
-    const double ovh =
-        circuit.overhead_energy_j(SleepMode::kDeep) *
-            static_cast<double>(b.deep_tr - a.deep_tr) +
-        circuit.overhead_energy_j(SleepMode::kLight) *
-            static_cast<double>(b.light_tr - a.light_tr);
-    return dyn + leak + idle_clock + ovh;
-  };
-  // The feedback-corrected leakage alone (for ThermalResult bookkeeping).
-  auto epoch_leak_j = [&](const EpochSnap& a, const EpochSnap& b,
-                          double mult) {
-    const double dt_cycles = static_cast<double>(b.cycles - a.cycles);
-    const double eff_gated =
-        static_cast<double>(b.deep_gated - a.deep_gated) +
-        light_frac * static_cast<double>(b.light_gated - a.light_gated);
-    return mult *
-           (tech.core_leakage_w * tech.cycles_to_seconds(dt_cycles) -
-            tech.savable_leakage_w() * tech.cycles_to_seconds(eff_gated));
+      d.instrs[c] = b.instr[c] - a.instr[c];
+    return d;
   };
 
   const std::uint64_t epoch = std::max<std::uint64_t>(
@@ -166,10 +164,12 @@ ThermalResult Simulator::run_thermal(TraceSource& trace,
       const double mult = thermal.leakage_multiplier();
       const double dt_s = tech.cycles_to_seconds(
           static_cast<double>(now.cycles - prev.cycles));
-      const double e_j = epoch_energy_j(prev, now, mult);
+      const IntervalActivity d = delta(prev, now);
+      const double e_j = interval_core_energy_j(tech, circuit, d, mult);
       thermal.step(e_j / dt_s, dt_s);
       if (out != nullptr) {
-        out->thermal_core_leak_j += epoch_leak_j(prev, now, mult);
+        out->thermal_core_leak_j +=
+            interval_core_leakage_j(tech, circuit, d, mult);
         weighted_t += thermal.temperature_c() * dt_s;
         total_dt += dt_s;
         peak = std::max(peak, thermal.temperature_c());

@@ -39,6 +39,12 @@ struct SimConfig {
   std::uint64_t instructions = 5'000'000;
   std::uint64_t warmup_instructions = 250'000;
   std::uint64_t run_seed = 42;
+  /// true (default): resolve full-core stall windows in closed form
+  /// (fast-forward); false: tick them cycle by cycle through the reference
+  /// kernel.  Results are bit-identical either way (see docs/MODEL.md and
+  /// tests/test_differential.cpp); the flag is part of the experiment
+  /// identity so cached results never mix kernels silently.
+  bool fast_forward = true;
 };
 
 struct SimResult {

@@ -35,9 +35,36 @@ void Core::stall_until(Blocker blocker, StallReason reason) {
   ev.reason = reason;
 
   const Cycle resume = std::max(handler_->on_stall(ev), ev.data_ready);
-  const Cycle stall_len = ev.data_ready - ev.start;
-  const Cycle penalty = resume - ev.data_ready;
+  if (step_mode_ == StepMode::kFastForward)
+    account_stall_bulk(ev, resume);
+  else
+    account_stall_stepped(ev, resume);
+  if (reason == StallReason::kMlpLimit) ++stats_.mlp_limit_stalls;
 
+  now_ = resume;
+  slot_ = 0;  // issue restarts at the top of the resume cycle
+}
+
+void Core::account_stall_bulk(const StallEvent& ev, Cycle resume) {
+  record_stall_window(ev, ev.data_ready - ev.start, resume - ev.data_ready);
+}
+
+void Core::account_stall_stepped(const StallEvent& ev, Cycle resume) {
+  // Classify every stalled cycle individually: before data_ready the core
+  // waits on memory, from data_ready to resume it pays the wakeup penalty.
+  Cycle stall_len = 0;
+  Cycle penalty = 0;
+  for (Cycle t = ev.start; t < resume; ++t) {
+    if (t < ev.data_ready)
+      ++stall_len;
+    else
+      ++penalty;
+  }
+  record_stall_window(ev, stall_len, penalty);
+}
+
+void Core::record_stall_window(const StallEvent& ev, Cycle stall_len,
+                               Cycle penalty) {
   if (ev.dram) {
     ++stats_.stalls_dram;
     stats_.stall_cycles_dram += stall_len;
@@ -50,11 +77,7 @@ void Core::stall_until(Blocker blocker, StallReason reason) {
     ++stats_.stalls_other;
     stats_.stall_cycles_other += stall_len;
   }
-  if (reason == StallReason::kMlpLimit) ++stats_.mlp_limit_stalls;
   stats_.penalty_cycles += penalty;
-
-  now_ = resume;
-  slot_ = 0;  // issue restarts at the top of the resume cycle
 }
 
 void Core::run(TraceSource& trace, std::uint64_t max_instrs) {

@@ -114,6 +114,14 @@ class Core {
   const CoreStats& stats() const { return stats_; }
   Cycle now() const { return now_; }
 
+  /// Select how stall windows are charged to the counters: kFastForward
+  /// (default) bulk-advances in closed form; kCycleAccurate classifies each
+  /// stalled cycle in a per-cycle loop.  Both produce identical statistics
+  /// (the differential tests prove it); the knob exists so the closed-form
+  /// arithmetic stays falsifiable.
+  void set_step_mode(StepMode mode) { step_mode_ = mode; }
+  StepMode step_mode() const { return step_mode_; }
+
   /// Zero the statistics without disturbing microarchitectural state; used
   /// after cache warmup.  Subsequent stats cover only post-reset execution.
   void reset_stats();
@@ -127,6 +135,14 @@ class Core {
   };
 
   void stall_until(Blocker blocker, StallReason reason);
+  /// Bulk-advance API: charge the whole window [ev.start, resume) to the
+  /// stall counters in closed form (fast-forward mode)...
+  void account_stall_bulk(const StallEvent& ev, Cycle resume);
+  /// ...or walk it cycle by cycle (cycle-accurate reference mode).
+  void account_stall_stepped(const StallEvent& ev, Cycle resume);
+  /// Shared sink: one classified stall window into the counters.
+  void record_stall_window(const StallEvent& ev, Cycle stall_len,
+                           Cycle penalty);
   void prune_outstanding();
   /// Consume one issue slot; advances the clock when the group is full.
   void advance_slot() {
@@ -141,6 +157,7 @@ class Core {
   StallHandler* handler_;
   StallHandler default_handler_;
 
+  StepMode step_mode_ = StepMode::kFastForward;
   Cycle now_ = 0;
   std::uint32_t slot_ = 0;  ///< issue slot used within the current cycle
   Cycle stats_base_ = 0;  ///< cycle at the last reset_stats()

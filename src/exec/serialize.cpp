@@ -153,6 +153,7 @@ Json config_json(const SimConfig& c) {
   j["instructions"] = Json::number(c.instructions);
   j["warmup_instructions"] = Json::number(c.warmup_instructions);
   j["run_seed"] = Json::number(c.run_seed);
+  j["fast_forward"] = Json::boolean(c.fast_forward);
   return j;
 }
 
@@ -310,6 +311,9 @@ Json result_to_json(const SimResult& r) {
   gating["aborted_entries"] = Json::number(r.gating.aborted_entries);
   gating["unprofitable_events"] = Json::number(r.gating.unprofitable_events);
   gating["penalty_cycles"] = Json::number(r.gating.penalty_cycles);
+  gating["idle_ungated_cycles"] = Json::number(r.gating.idle_ungated_cycles);
+  gating["refresh_window_cycles"] =
+      Json::number(r.gating.refresh_window_cycles);
   gating["gated_len_hist"] = hist_to_json(r.gating.gated_len_hist);
   j["gating"] = std::move(gating);
 
@@ -389,6 +393,9 @@ SimResult result_from_json(const Json& j) {
   r.gating.aborted_entries = gating.get("aborted_entries").as_u64();
   r.gating.unprofitable_events = gating.get("unprofitable_events").as_u64();
   r.gating.penalty_cycles = gating.get("penalty_cycles").as_u64();
+  r.gating.idle_ungated_cycles = gating.get("idle_ungated_cycles").as_u64();
+  r.gating.refresh_window_cycles =
+      gating.get("refresh_window_cycles").as_u64();
   r.gating.gated_len_hist = hist_from_json(gating.get("gated_len_hist"));
 
   const Json& energy = j.get("energy");

@@ -27,7 +27,9 @@ namespace mapg {
 
 /// Bump when the serialized form or the meaning of cached results changes;
 /// old cache entries are then simply never matched again.
-inline constexpr int kExecSchemaVersion = 1;
+/// v2: SimConfig::fast_forward joined the experiment identity, and
+/// GatingStats grew idle_ungated_cycles / refresh_window_cycles.
+inline constexpr int kExecSchemaVersion = 2;
 
 // --- Results ---
 Json result_to_json(const SimResult& r);

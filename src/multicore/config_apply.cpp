@@ -8,7 +8,7 @@ namespace {
 /// Keys consumed by apply_sim_config.
 const std::set<std::string>& sim_keys() {
   static const std::set<std::string> keys = {
-      "instructions", "warmup", "seed",
+      "instructions", "warmup", "seed", "fast_forward",
       "core.mlp_window", "core.div_latency", "core.mul_latency",
       "core.fp_latency", "core.scoreboard",
       "l1.size_kib", "l1.assoc", "l1.latency",
@@ -48,7 +48,8 @@ void collect_unknown(const KvConfig& kv, bool with_multicore,
   // Keys owned by front-end tools, not by the platform configuration.
   static const std::set<std::string> tool_keys = {
       "config", "workload", "policy",   "csv",      "seeds", "list",
-      "help",   "jobs",     "cache-dir", "no-cache", "progress", "runlog"};
+      "help",   "jobs",     "cache-dir", "no-cache", "progress", "runlog",
+      "fast-forward"};
   for (const auto& [key, value] : kv.all()) {
     (void)value;
     if (key.rfind("run.", 0) == 0) continue;  // reserved for tools
@@ -170,6 +171,10 @@ SimConfig apply_sim_config(const KvConfig& kv, SimConfig base,
   base.instructions = kv.get_uint("instructions", base.instructions);
   base.warmup_instructions = kv.get_uint("warmup", base.warmup_instructions);
   base.run_seed = kv.get_uint("seed", base.run_seed);
+  // Both spellings: "fast-forward" is the front-end flag (bench_util),
+  // "fast_forward" the config-file key.
+  base.fast_forward = kv.get_bool(
+      "fast_forward", kv.get_bool("fast-forward", base.fast_forward));
   return base;
 }
 
@@ -183,6 +188,10 @@ MulticoreConfig apply_multicore_config(const KvConfig& kv,
       kv.get_uint("instructions", base.instructions_per_core);
   base.warmup_instructions = kv.get_uint("warmup", base.warmup_instructions);
   base.run_seed = kv.get_uint("seed", base.run_seed);
+  // Both spellings: "fast-forward" is the front-end flag (bench_util),
+  // "fast_forward" the config-file key.
+  base.fast_forward = kv.get_bool(
+      "fast_forward", kv.get_bool("fast-forward", base.fast_forward));
   base.num_cores =
       static_cast<std::uint32_t>(kv.get_uint("cores", base.num_cores));
   base.wake_arbiter_slots = static_cast<std::uint32_t>(

@@ -50,6 +50,14 @@ MulticoreResult MulticoreSim::run(
   const PgCircuit circuit(config_.pg, config_.tech);
   const PolicyContext ctx = PgController::make_context(circuit);
 
+  StallKernelParams kparams;
+  kparams.mode = config_.fast_forward ? StepMode::kFastForward
+                                      : StepMode::kCycleAccurate;
+  kparams.t_refi = config_.mem.dram.t_refi;
+  kparams.t_rfc = config_.mem.dram.t_rfc;
+  kparams.rates = StallEnergyRates::make(
+      config_.tech, circuit, config_.dram_energy, config_.mem.dram.channels);
+
   Cache shared_l2(config_.mem.l2);
   Dram shared_dram(config_.mem.dram);
   WakeArbiter arbiter(config_.wake_arbiter_slots);
@@ -71,10 +79,11 @@ MulticoreResult MulticoreSim::run(
     s.policy = make_policy(policy_spec, ctx);
     if (!s.policy)
       throw std::invalid_argument("unknown policy spec: " + policy_spec);
-    s.controller =
-        std::make_unique<PgController>(*s.policy, circuit, arbiter_ptr);
+    s.controller = std::make_unique<PgController>(*s.policy, circuit,
+                                                  arbiter_ptr, kparams);
     s.core =
         std::make_unique<Core>(config_.core, *s.mem, s.controller.get());
+    s.core->set_step_mode(kparams.mode);
   }
 
   // Interleaved execution, always stepping the core with the smallest local

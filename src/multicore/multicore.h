@@ -41,6 +41,9 @@ struct MulticoreConfig {
   /// Package di/dt budget: maximum concurrent per-core wakeup windows
   /// (0 = unlimited; see pg/wake_arbiter.h).
   std::uint32_t wake_arbiter_slots = 0;
+  /// Stall-window stepping mode for every core and controller; same
+  /// semantics and bit-identity contract as SimConfig::fast_forward.
+  bool fast_forward = true;
 };
 
 /// Per-core outcome of a multicore run.

@@ -1,8 +1,19 @@
 #include "pg/pg_controller.h"
 
-#include <algorithm>
-
 namespace mapg {
+
+PgController::PgController(PgPolicy& policy, const PgCircuit& circuit,
+                           WakeArbiter* arbiter, StallKernelParams params)
+    : policy_(policy),
+      circuit_(circuit),
+      arbiter_(arbiter),
+      params_(params) {
+  if (params_.mode == StepMode::kCycleAccurate)
+    stepped_ = std::make_unique<SteppedStallKernel>(policy_, circuit_,
+                                                    arbiter_, params_);
+}
+
+PgController::~PgController() = default;
 
 Cycle PgController::on_stall(const StallEvent& ev) {
   ++stats_.eligible_stalls;
@@ -10,57 +21,44 @@ Cycle PgController::on_stall(const StallEvent& ev) {
   // and the data-arrival event, so the true length is always observable.
   policy_.observe(ev);
 
-  if (!policy_.should_gate(ev)) {
-    ++stats_.skipped_events;
-    return ev.data_ready;
+  // The decision is resolved up front so both kernels see the identical
+  // decision and stateful policies are queried in the identical order.
+  GateDecision decision;
+  decision.gate = policy_.should_gate(ev);
+  if (decision.gate)
+    decision.gate_start = cycle_add(ev.start, policy_.gate_delay());
+
+  const StallWindowOutcome out =
+      stepped_ != nullptr
+          ? stepped_->resolve(ev, decision)
+          : resolve_stall_fast(policy_, circuit_, arbiter_, params_, ev,
+                               decision);
+
+  if (!out.gated) {
+    if (out.timeout_missed)
+      ++stats_.timeout_missed;
+    else
+      ++stats_.skipped_events;
+  } else {
+    ++stats_.gated_events;
+    stats_.activity.add_transition(out.mode, out.gated_cycles,
+                                   out.entry_cycles, out.wake_cycles);
+    stats_.penalty_cycles += out.resume - ev.data_ready;
+    stats_.gated_len_hist.add(static_cast<double>(out.gated_cycles));
+
+    // entry_end = gate_start + entry latency; both kernels report the full
+    // entry phase, so the edge conditions reconstruct exactly.
+    if (ev.data_ready <= decision.gate_start + out.entry_cycles)
+      ++stats_.aborted_entries;
+    if (out.gated_cycles < circuit_.break_even_cycles(out.mode))
+      ++stats_.unprofitable_events;
   }
 
-  const Cycle gate_start = cycle_add(ev.start, policy_.gate_delay());
-  if (gate_start >= ev.data_ready) {
-    // The idle-timeout wait consumed the whole stall: no transition happens.
-    ++stats_.timeout_missed;
-    return ev.data_ready;
-  }
+  stats_.idle_ungated_cycles += out.idle_ungated_cycles;
+  stats_.refresh_window_cycles += out.refresh_overlap_cycles;
+  stall_energy_j_ += out.window_energy_j;
 
-  const SleepMode mode = policy_.sleep_mode(ev);
-  const Cycle entry_lat = circuit_.entry_latency_cycles();
-  const Cycle wake_lat = circuit_.wakeup_latency_cycles(mode);
-  const Cycle entry_end = gate_start + entry_lat;
-
-  Cycle wake_start = 0;
-  switch (policy_.wake_mode()) {
-    case WakeMode::kOracle:
-      wake_start = cycle_sub_sat(ev.data_ready, wake_lat);
-      break;
-    case WakeMode::kEarly:
-      // The MC can schedule the wakeup `wake_lat` ahead of the return, but
-      // not before the return time is exactly known (the commit point).
-      wake_start = std::max(ev.commit, cycle_sub_sat(ev.data_ready, wake_lat));
-      break;
-    case WakeMode::kReactive:
-      wake_start = ev.data_ready;
-      break;
-  }
-  // The sleep sequence is not interruptible: wakeup waits for entry to end.
-  wake_start = std::max(wake_start, entry_end);
-
-  // Shared di/dt budget: the wakeup window may be postponed until a slot
-  // frees up (the core simply stays gated while it waits).
-  if (arbiter_ != nullptr)
-    wake_start = arbiter_->reserve(wake_start, wake_lat, ev.start);
-
-  const Cycle resume = std::max(ev.data_ready, wake_start + wake_lat);
-  const Cycle gated = wake_start - entry_end;
-
-  ++stats_.gated_events;
-  stats_.activity.add_transition(mode, gated, entry_lat, wake_lat);
-  stats_.penalty_cycles += resume - ev.data_ready;
-  stats_.gated_len_hist.add(static_cast<double>(gated));
-
-  if (ev.data_ready <= entry_end) ++stats_.aborted_entries;
-  if (gated < circuit_.break_even_cycles(mode)) ++stats_.unprofitable_events;
-
-  return resume;
+  return out.resume;
 }
 
 }  // namespace mapg

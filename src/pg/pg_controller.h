@@ -16,11 +16,20 @@
 // Everything after the decision — degenerate gating when the data arrives
 // during entry, penalties when the wakeup cannot be hidden, break-even
 // bookkeeping — is handled here so all policies are scored identically.
+//
+// The timing itself is resolved by one of two interchangeable kernels
+// (pg/stall_kernel.h): the closed-form fast-forward kernel (default) or the
+// cycle-accurate stepped reference, selected by StallKernelParams::mode.
+// Both produce bit-identical statistics; tests/test_differential.cpp proves
+// it.
 #pragma once
+
+#include <memory>
 
 #include "common/stats.h"
 #include "cpu/core.h"
 #include "pg/policy.h"
+#include "pg/stall_kernel.h"
 #include "pg/wake_arbiter.h"
 #include "power/energy_model.h"
 #include "power/pg_circuit.h"
@@ -36,6 +45,14 @@ struct GatingStats {
   std::uint64_t aborted_entries = 0;   ///< data arrived by end of entry
   std::uint64_t unprofitable_events = 0;  ///< gated interval < break-even
   std::uint64_t penalty_cycles = 0;    ///< resume beyond data_ready, summed
+  /// Stall cycles spent idle but NOT in any gating phase (waiting out a
+  /// timeout, or a skipped/missed stall).  Makes cycle conservation exact:
+  ///   entry + gated + wake + idle_ungated == core idle cycles.
+  std::uint64_t idle_ungated_cycles = 0;
+  /// Stall-window cycles overlapping a DRAM refresh window (t_rfc out of
+  /// every t_refi); counted closed-form by the fast kernel, per-cycle by the
+  /// reference.  0 when refresh metering is not configured.
+  std::uint64_t refresh_window_cycles = 0;
   Histogram gated_len_hist{0.0, 1024.0, 64};
 
   double gate_rate() const {
@@ -48,16 +65,29 @@ struct GatingStats {
 class PgController final : public StallHandler {
  public:
   /// `arbiter` (optional, shared across cores) rations concurrent wakeup
-  /// windows against the package di/dt budget; null = unlimited.
+  /// windows against the package di/dt budget; null = unlimited.  `params`
+  /// selects the stall kernel (fast-forward by default) and carries the
+  /// refresh-timing / energy-rate inputs for the window meters.
   PgController(PgPolicy& policy, const PgCircuit& circuit,
-               WakeArbiter* arbiter = nullptr)
-      : policy_(policy), circuit_(circuit), arbiter_(arbiter) {}
+               WakeArbiter* arbiter = nullptr, StallKernelParams params = {});
+  ~PgController();
 
   Cycle on_stall(const StallEvent& ev) override;
 
   const GatingStats& stats() const { return stats_; }
   const GatingActivity& activity() const { return stats_.activity; }
-  void reset_stats() { stats_ = GatingStats{}; }
+  void reset_stats() {
+    stats_ = GatingStats{};
+    stall_energy_j_ = 0;
+  }
+
+  StepMode step_mode() const { return params_.mode; }
+
+  /// Accumulated stall-window energy (J): closed-form per window in
+  /// fast-forward mode, per-cycle integral in cycle-accurate mode.  A
+  /// cross-check channel (Ghose-style "what is your model not telling you"),
+  /// deliberately NOT part of SimResult so the two modes stay bit-identical.
+  double stall_window_energy_j() const { return stall_energy_j_; }
 
   /// Derive the PolicyContext a policy should be constructed with so its
   /// thresholds match this circuit.
@@ -76,7 +106,11 @@ class PgController final : public StallHandler {
   PgPolicy& policy_;
   const PgCircuit& circuit_;
   WakeArbiter* arbiter_;
+  StallKernelParams params_;
+  /// Non-null iff params_.mode == kCycleAccurate.
+  std::unique_ptr<SteppedStallKernel> stepped_;
   GatingStats stats_;
+  double stall_energy_j_ = 0;
 };
 
 }  // namespace mapg

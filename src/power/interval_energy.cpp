@@ -1,0 +1,58 @@
+#include "power/interval_energy.h"
+
+namespace mapg {
+
+StallEnergyRates StallEnergyRates::make(const TechParams& tech,
+                                        const PgCircuit& pg,
+                                        const DramEnergyParams& dram_energy,
+                                        std::uint32_t dram_channels) {
+  const double sec = tech.cycles_to_seconds(1.0);
+  StallEnergyRates r;
+  r.leak_j = tech.core_leakage_w * sec;
+  r.deep_saved_j = tech.savable_leakage_w() * sec;
+  r.light_saved_j =
+      tech.savable_leakage_w() * pg.save_fraction(SleepMode::kLight) * sec;
+  r.idle_clock_j = tech.idle_clock_w * sec;
+  r.dram_background_j = dram_energy.background_w_per_channel *
+                        static_cast<double>(dram_channels) * sec;
+  return r;
+}
+
+double stall_window_energy_j(const StallEnergyRates& rates,
+                             const StallPhaseCycles& phases) {
+  return (rates.leak_j + rates.dram_background_j) *
+             static_cast<double>(phases.window()) +
+         rates.idle_clock_j * static_cast<double>(phases.idle_ungated) -
+         rates.saved_j(phases.mode) * static_cast<double>(phases.gated);
+}
+
+double interval_core_energy_j(const TechParams& tech, const PgCircuit& pg,
+                              const IntervalActivity& d, double mult) {
+  double dyn = 0;
+  for (std::size_t c = 0; c < kNumOpClasses; ++c)
+    dyn += static_cast<double>(d.instrs[c]) * tech.dyn_energy_nj[c] * 1e-9;
+  const double idle_ungated =
+      static_cast<double>(d.idle_cycles - d.pg_phase_cycles);
+  const double idle_clock =
+      tech.idle_clock_w * tech.cycles_to_seconds(idle_ungated);
+  const double ovh =
+      pg.overhead_energy_j(SleepMode::kDeep) *
+          static_cast<double>(d.deep_transitions) +
+      pg.overhead_energy_j(SleepMode::kLight) *
+          static_cast<double>(d.light_transitions);
+  return dyn + interval_core_leakage_j(tech, pg, d, mult) + idle_clock + ovh;
+}
+
+double interval_core_leakage_j(const TechParams& tech, const PgCircuit& pg,
+                               const IntervalActivity& d, double mult) {
+  const double dt_cycles = static_cast<double>(d.cycles);
+  const double eff_gated =
+      static_cast<double>(d.deep_gated_cycles) +
+      pg.save_fraction(SleepMode::kLight) *
+          static_cast<double>(d.light_gated_cycles);
+  return mult *
+         (tech.core_leakage_w * tech.cycles_to_seconds(dt_cycles) -
+          tech.savable_leakage_w() * tech.cycles_to_seconds(eff_gated));
+}
+
+}  // namespace mapg

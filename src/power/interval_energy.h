@@ -1,0 +1,105 @@
+// Closed-form interval accounting: energy and refresh-window occupancy of an
+// execution interval expressed directly from its aggregate cycle counts, with
+// no per-cycle loop.
+//
+// Two consumers:
+//
+//  1. The fast-forward stall kernel (src/pg/stall_kernel.h) charges a whole
+//     stall window [start, resume) in one step.  The cycle-accurate reference
+//     kernel integrates the same quantities one cycle at a time; the
+//     differential tests compare the two (integer counts exactly, the energy
+//     integral to floating-point tolerance).
+//
+//  2. The thermal epoch loop (src/core/sim.cpp) differences stats snapshots
+//     per epoch and converts the delta to joules via interval_core_energy_j.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+#include "power/dram_energy.h"
+#include "power/pg_circuit.h"
+#include "power/tech_params.h"
+
+namespace mapg {
+
+/// Cycles t in [0, bound) that overlap a DRAM refresh window, i.e. satisfy
+/// (t % t_refi) < t_rfc.  Closed form: full periods contribute
+/// min(t_rfc, t_refi) each, the trailing partial period contributes
+/// min(bound % t_refi, t_rfc).  t_refi == 0 disables refresh (returns 0).
+constexpr Cycle refresh_busy_cycles(Cycle bound, Cycle t_refi, Cycle t_rfc) {
+  if (t_refi == 0 || t_rfc == 0) return 0;
+  const Cycle per_period = t_rfc < t_refi ? t_rfc : t_refi;
+  const Cycle partial = bound % t_refi;
+  return (bound / t_refi) * per_period +
+         (partial < per_period ? partial : per_period);
+}
+
+/// Cycles in [begin, end) that overlap a refresh window.
+constexpr Cycle refresh_window_overlap(Cycle begin, Cycle end, Cycle t_refi,
+                                       Cycle t_rfc) {
+  return refresh_busy_cycles(end, t_refi, t_rfc) -
+         refresh_busy_cycles(begin, t_refi, t_rfc);
+}
+
+/// Per-cycle energy rates (J/cycle) of everything that accrues during a
+/// full-core stall window.  All-zero rates simply disable the energy
+/// cross-check accumulator.
+struct StallEnergyRates {
+  double leak_j = 0;         ///< gated-domain leakage, ungated
+  double deep_saved_j = 0;   ///< leakage removed per deep-gated cycle
+  double light_saved_j = 0;  ///< leakage removed per light-gated cycle
+  double idle_clock_j = 0;   ///< residual clocking while idle and ungated
+  double dram_background_j = 0;  ///< DRAM background power, all channels
+
+  double saved_j(SleepMode mode) const {
+    return mode == SleepMode::kDeep ? deep_saved_j : light_saved_j;
+  }
+
+  static StallEnergyRates make(const TechParams& tech, const PgCircuit& pg,
+                               const DramEnergyParams& dram_energy,
+                               std::uint32_t dram_channels);
+};
+
+/// Phase decomposition of one stall window [start, resume):
+///   window = idle_ungated + entry + gated + wake   (exact, in cycles).
+struct StallPhaseCycles {
+  std::uint64_t idle_ungated = 0;  ///< waiting ungated (timeout, or no gate)
+  std::uint64_t entry = 0;
+  std::uint64_t gated = 0;
+  std::uint64_t wake = 0;
+  SleepMode mode = SleepMode::kDeep;  ///< meaningful when gated > 0
+
+  std::uint64_t window() const { return idle_ungated + entry + gated + wake; }
+};
+
+/// Closed-form energy of one stall window.  The cycle-accurate kernel
+/// accumulates the same integrand per cycle; agreement is asserted to
+/// floating-point tolerance by the differential tests.
+double stall_window_energy_j(const StallEnergyRates& rates,
+                             const StallPhaseCycles& phases);
+
+/// Scalar activity deltas over an execution interval [a, b) (the thermal
+/// epoch loop differences two stats snapshots into this).
+struct IntervalActivity {
+  Cycle cycles = 0;
+  std::uint64_t idle_cycles = 0;
+  std::uint64_t pg_phase_cycles = 0;  ///< entry + gated + wake cycles
+  std::uint64_t deep_gated_cycles = 0;
+  std::uint64_t light_gated_cycles = 0;
+  std::uint64_t deep_transitions = 0;
+  std::uint64_t light_transitions = 0;
+  std::array<std::uint64_t, kNumOpClasses> instrs{};
+};
+
+/// Core hot-spot domain energy of the interval at leakage multiplier `mult`
+/// (dynamic + leakage + idle clocking + PG transition overhead).
+double interval_core_energy_j(const TechParams& tech, const PgCircuit& pg,
+                              const IntervalActivity& d, double mult);
+
+/// The feedback-corrected leakage term alone.
+double interval_core_leakage_j(const TechParams& tech, const PgCircuit& pg,
+                               const IntervalActivity& d, double mult);
+
+}  // namespace mapg

@@ -1,0 +1,230 @@
+// Differential test layer: the fast-forward (closed-form) stall kernel must
+// be bit-identical to the cycle-accurate stepped reference.
+//
+// The comparison goes through exec/serialize.h canonical JSON: every
+// SimResult field — counters, histograms, running moments, energy doubles —
+// participates, so a new field can never silently escape coverage (it lands
+// in result_to_json or the exec round-trip tests fail).
+//
+// Energy is a pure function of the final integer counters, so counter
+// identity implies energy identity bit-for-bit.  The one quantity that is
+// NOT bit-identical by construction — the per-stall-window energy integral,
+// which the reference accumulates cycle by cycle while the fast kernel uses
+// closed-form products — is compared to floating-point tolerance in
+// StallWindowEnergyIntegralAgrees.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/sim.h"
+#include "exec/serialize.h"
+#include "multicore/multicore.h"
+#include "trace/profile.h"
+
+namespace mapg {
+namespace {
+
+const std::vector<std::string>& policy_specs() {
+  static const std::vector<std::string> specs = {
+      "none",          "idle-timeout:64",  "idle-timeout-early:64",
+      "oracle",        "mapg",             "mapg-aggressive",
+      "mapg-noearly",  "mapg-unfiltered",  "mapg-history",
+      "mapg-multimode", "mapg-hybrid",
+  };
+  return specs;
+}
+
+SimConfig diff_config(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.instructions = 30'000;
+  cfg.warmup_instructions = 6'000;
+  cfg.run_seed = seed;
+  return cfg;
+}
+
+/// Run the same cell through both kernels and compare canonical dumps.
+void expect_identical(const SimConfig& base, const WorkloadProfile& profile,
+                      const std::string& spec) {
+  SimConfig fast = base;
+  fast.fast_forward = true;
+  SimConfig stepped = base;
+  stepped.fast_forward = false;
+
+  const SimResult a = Simulator(fast).run(profile, spec);
+  const SimResult b = Simulator(stepped).run(profile, spec);
+  EXPECT_EQ(result_to_json(a).dump(), result_to_json(b).dump())
+      << "fast-forward diverges from the cycle-accurate reference for "
+      << profile.name << " / " << spec << " / seed=" << base.run_seed;
+}
+
+// Full workload x policy x seed matrix, one test case per workload so ctest
+// can shard them.
+class KernelDifferential : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelDifferential, FastForwardMatchesCycleAccurate) {
+  const WorkloadProfile* p = find_profile(GetParam());
+  ASSERT_NE(p, nullptr);
+  for (const std::string& spec : policy_specs())
+    for (const std::uint64_t seed : {1ull, 42ull, 1337ull})
+      expect_identical(diff_config(seed), *p, spec);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, KernelDifferential,
+                         ::testing::Values("mcf-like", "lbm-like",
+                                           "milc-like", "libquantum-like",
+                                           "soplex-like", "omnetpp-like",
+                                           "gcc-like", "astar-like",
+                                           "bzip2-like", "hmmer-like",
+                                           "gamess-like", "povray-like"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+// Config corners the flat matrix does not reach: disabled refresh, single
+// channel, deeper MLP, degenerate zero-cycle entry, prefetching.
+TEST(KernelDifferential, ConfigCorners) {
+  const WorkloadProfile* p = find_profile("mcf-like");
+  ASSERT_NE(p, nullptr);
+
+  SimConfig no_refresh = diff_config(42);
+  no_refresh.mem.dram.t_refi = 0;
+  expect_identical(no_refresh, *p, "mapg");
+
+  SimConfig one_channel = diff_config(42);
+  one_channel.mem.dram.channels = 1;
+  one_channel.core.mlp_window = 16;
+  expect_identical(one_channel, *p, "mapg-multimode");
+
+  SimConfig instant_entry = diff_config(42);
+  instant_entry.pg.entry_ns = 0;
+  instant_entry.pg.settle_ns = 0;
+  expect_identical(instant_entry, *p, "oracle");
+
+  SimConfig prefetch = diff_config(42);
+  prefetch.mem.prefetch.enable = true;
+  expect_identical(prefetch, *p, "mapg");
+
+  SimConfig no_warmup = diff_config(7);
+  no_warmup.warmup_instructions = 0;
+  expect_identical(no_warmup, *p, "idle-timeout:16");
+}
+
+// Multicore: shared L2/DRAM contention plus the wake arbiter.  The stepped
+// kernel must call the arbiter at the same global points, so grants —
+// and hence every core's timing — stay identical.
+TEST(KernelDifferential, MulticoreWithArbiterMatches) {
+  MulticoreConfig base;
+  base.num_cores = 3;
+  base.instructions_per_core = 25'000;
+  base.warmup_instructions = 5'000;
+  base.wake_arbiter_slots = 1;
+
+  const std::vector<WorkloadProfile> mix = {*find_profile("mcf-like"),
+                                            *find_profile("libquantum-like"),
+                                            *find_profile("omnetpp-like")};
+  for (const char* spec : {"mapg", "mapg-multimode"}) {
+    MulticoreConfig fast = base;
+    fast.fast_forward = true;
+    MulticoreConfig stepped = base;
+    stepped.fast_forward = false;
+    const MulticoreResult a = MulticoreSim(fast).run(mix, spec);
+    const MulticoreResult b = MulticoreSim(stepped).run(mix, spec);
+
+    EXPECT_EQ(a.makespan, b.makespan) << spec;
+    EXPECT_EQ(a.wake_delayed_grants, b.wake_delayed_grants) << spec;
+    EXPECT_EQ(a.wake_delay_cycles, b.wake_delay_cycles) << spec;
+    EXPECT_EQ(a.dram.reads, b.dram.reads) << spec;
+    EXPECT_EQ(a.dram.writes, b.dram.writes) << spec;
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (std::size_t i = 0; i < a.cores.size(); ++i) {
+      const CoreSlotResult& x = a.cores[i];
+      const CoreSlotResult& y = b.cores[i];
+      EXPECT_EQ(x.core.cycles, y.core.cycles) << spec << " core " << i;
+      EXPECT_EQ(x.core.penalty_cycles, y.core.penalty_cycles)
+          << spec << " core " << i;
+      EXPECT_EQ(x.gating.gated_events, y.gating.gated_events)
+          << spec << " core " << i;
+      EXPECT_EQ(x.gating.activity.gated_cycles, y.gating.activity.gated_cycles)
+          << spec << " core " << i;
+      EXPECT_EQ(x.gating.idle_ungated_cycles, y.gating.idle_ungated_cycles)
+          << spec << " core " << i;
+      EXPECT_EQ(x.gating.refresh_window_cycles,
+                y.gating.refresh_window_cycles)
+          << spec << " core " << i;
+      // Identical counters through identical compute_energy => identical
+      // doubles, exactly.
+      EXPECT_EQ(x.energy.total_j(), y.energy.total_j())
+          << spec << " core " << i;
+    }
+    EXPECT_EQ(a.total_j(), b.total_j()) << spec;
+  }
+}
+
+// Thermal feedback: epoch boundaries are instruction counts, so identical
+// per-epoch counters give identical FP epoch energies and temperatures.
+TEST(KernelDifferential, ThermalRunMatches) {
+  SimConfig base = diff_config(42);
+  base.thermal.enable = true;
+  base.thermal.epoch_instructions = 2'000;
+  SimConfig fast = base;
+  fast.fast_forward = true;
+  SimConfig stepped = base;
+  stepped.fast_forward = false;
+
+  const WorkloadProfile* p = find_profile("mcf-like");
+  ASSERT_NE(p, nullptr);
+  const ThermalResult a = Simulator(fast).run_thermal(*p, "mapg");
+  const ThermalResult b = Simulator(stepped).run_thermal(*p, "mapg");
+
+  EXPECT_EQ(result_to_json(a.sim).dump(), result_to_json(b.sim).dump());
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.final_temperature_c, b.final_temperature_c);
+  EXPECT_EQ(a.peak_temperature_c, b.peak_temperature_c);
+  EXPECT_EQ(a.avg_temperature_c, b.avg_temperature_c);
+  EXPECT_EQ(a.thermal_core_leak_j, b.thermal_core_leak_j);
+}
+
+// The stall-window energy cross-check: the reference's per-cycle integral
+// must agree with the fast kernel's closed-form interval energy.  This is
+// the only per-run quantity allowed to differ in bits (FP association), so
+// it lives outside SimResult and is compared with a tolerance here.
+TEST(KernelDifferential, StallWindowEnergyIntegralAgrees) {
+  for (const char* workload : {"mcf-like", "gamess-like"}) {
+    const WorkloadProfile* p = find_profile(workload);
+    ASSERT_NE(p, nullptr);
+    const SimConfig cfg = diff_config(42);
+    const PgCircuit circuit(cfg.pg, cfg.tech);
+    const PolicyContext ctx = PgController::make_context(circuit);
+
+    double energy[2] = {0, 0};
+    for (const StepMode mode :
+         {StepMode::kFastForward, StepMode::kCycleAccurate}) {
+      TraceGenerator gen(*p, cfg.run_seed);
+      MemoryHierarchy mem(cfg.mem);
+      std::unique_ptr<PgPolicy> policy = make_policy("mapg", ctx);
+      ASSERT_NE(policy, nullptr);
+      StallKernelParams params;
+      params.mode = mode;
+      params.t_refi = cfg.mem.dram.t_refi;
+      params.t_rfc = cfg.mem.dram.t_rfc;
+      params.rates = StallEnergyRates::make(cfg.tech, circuit,
+                                            cfg.dram_energy,
+                                            cfg.mem.dram.channels);
+      PgController controller(*policy, circuit, nullptr, params);
+      Core core(cfg.core, mem, &controller);
+      core.set_step_mode(mode);
+      core.run(gen, cfg.instructions);
+      energy[mode == StepMode::kCycleAccurate] =
+          controller.stall_window_energy_j();
+    }
+    EXPECT_GT(energy[0], 0.0) << workload;
+    EXPECT_NEAR(energy[0], energy[1], 1e-9 * energy[0]) << workload;
+  }
+}
+
+}  // namespace
+}  // namespace mapg

@@ -36,8 +36,11 @@ TEST_P(WorkloadPolicyProps, AccountingInvariantsHold) {
 
   // Cycle conservation.
   EXPECT_EQ(r.core.busy_cycles() + r.core.idle_cycles(), r.core.cycles);
+  // Exact: every idle cycle is in exactly one gating phase or explicitly
+  // idle-ungated (waiting out a gate timeout, or a skipped/missed stall).
   const GatingActivity& a = r.gating.activity;
-  EXPECT_LE(a.gated_cycles + a.entry_cycles + a.wake_cycles,
+  EXPECT_EQ(a.gated_cycles + a.entry_cycles + a.wake_cycles +
+                r.gating.idle_ungated_cycles,
             r.core.idle_cycles());
 
   // Penalty agreement between the core and the controller.

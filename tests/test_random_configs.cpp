@@ -1,0 +1,138 @@
+// Randomized-config property test: a seeded sweep over the configuration
+// space, checking on every sample that
+//   (a) the fast-forward and cycle-accurate kernels agree bit-for-bit, and
+//   (b) the accounting invariants hold (exact cycle conservation, refresh
+//       bound, penalty consistency).
+// The sweep is fully deterministic — one mt19937_64 seeded with a constant —
+// so a failure reproduces by sample index.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/sim.h"
+#include "exec/serialize.h"
+#include "trace/profile.h"
+
+namespace mapg {
+namespace {
+
+struct Sample {
+  SimConfig cfg;
+  std::string workload;
+  std::string policy;
+};
+
+Sample draw(std::mt19937_64& rng) {
+  auto pick_u = [&rng](std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(rng);
+  };
+  auto pick_d = [&rng](double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng);
+  };
+
+  Sample s;
+  s.cfg.instructions = pick_u(10'000, 25'000);
+  s.cfg.warmup_instructions = pick_u(0, 4'000);
+  s.cfg.run_seed = pick_u(0, 1'000'000);
+
+  // Core shape.
+  s.cfg.core.issue_width = static_cast<std::uint32_t>(pick_u(1, 4));
+  s.cfg.core.mlp_window = static_cast<std::uint32_t>(pick_u(1, 24));
+  s.cfg.core.div_latency = pick_u(8, 40);
+
+  // DRAM timing, including refresh corners: disabled, short-period, and
+  // t_rfc >= t_refi (pathological but must still agree).
+  switch (pick_u(0, 3)) {
+    case 0:
+      s.cfg.mem.dram.t_refi = 0;
+      break;
+    case 1:
+      s.cfg.mem.dram.t_refi = pick_u(1'000, 4'000);
+      s.cfg.mem.dram.t_rfc = pick_u(100, 600);
+      break;
+    case 2:
+      s.cfg.mem.dram.t_refi = pick_u(8'000, 30'000);
+      s.cfg.mem.dram.t_rfc = pick_u(200, 800);
+      break;
+    default:
+      s.cfg.mem.dram.t_refi = pick_u(200, 600);
+      s.cfg.mem.dram.t_rfc = pick_u(600, 1'200);
+      break;
+  }
+  s.cfg.mem.dram.channels = static_cast<std::uint32_t>(pick_u(1, 4));
+  s.cfg.mem.dram.t_cl = pick_u(20, 60);
+
+  // Gating circuit; keep valid(): light_swing <= rail_swing, fractions in
+  // (0, 1].
+  s.cfg.pg.wakeup_stages = static_cast<std::uint32_t>(pick_u(1, 16));
+  s.cfg.pg.stage_delay_ns = pick_d(0.25, 3.0);
+  s.cfg.pg.entry_ns = pick_d(0.0, 6.0);
+  s.cfg.pg.settle_ns = pick_d(0.0, 4.0);
+  s.cfg.pg.c_vrail_nf = pick_d(1.0, 12.0);
+  s.cfg.pg.gate_charge_nj = pick_d(0.0, 4.0);
+  s.cfg.pg.rail_swing_frac = pick_d(0.5, 1.0);
+  s.cfg.pg.light_swing_frac = pick_d(0.05, s.cfg.pg.rail_swing_frac);
+  s.cfg.pg.light_save_frac = pick_d(0.2, 0.9);
+  s.cfg.pg.light_wakeup_stages = static_cast<std::uint32_t>(pick_u(1, 4));
+  EXPECT_TRUE(s.cfg.pg.valid());
+
+  static const char* kWorkloads[] = {"mcf-like", "libquantum-like",
+                                     "omnetpp-like", "milc-like",
+                                     "gamess-like", "astar-like"};
+  static const char* kPolicies[] = {
+      "none",         "idle-timeout:32", "idle-timeout-early:128",
+      "oracle",       "mapg",            "mapg-aggressive",
+      "mapg-history", "mapg-multimode",  "mapg-hybrid"};
+  s.workload = kWorkloads[pick_u(0, std::size(kWorkloads) - 1)];
+  s.policy = kPolicies[pick_u(0, std::size(kPolicies) - 1)];
+  return s;
+}
+
+void check_invariants(const SimResult& r, const std::string& what) {
+  const GatingActivity& a = r.gating.activity;
+  // Exact cycle conservation: every idle cycle is classified exactly once.
+  EXPECT_EQ(a.entry_cycles + a.gated_cycles + a.wake_cycles +
+                r.gating.idle_ungated_cycles,
+            r.core.idle_cycles())
+      << what;
+  // Refresh overlap can cover at most every stall-window cycle.
+  EXPECT_LE(r.gating.refresh_window_cycles, r.core.idle_cycles()) << what;
+  // Every gating decision lands in exactly one outcome bucket.
+  EXPECT_EQ(r.gating.eligible_stalls, r.gating.gated_events +
+                                          r.gating.skipped_events +
+                                          r.gating.timeout_missed)
+      << what;
+  // The controller's added cycles are what the core booked as penalties.
+  EXPECT_EQ(r.gating.penalty_cycles, r.core.penalty_cycles) << what;
+  EXPECT_GT(r.core.cycles, 0u) << what;
+}
+
+TEST(RandomConfigs, FastForwardEquivalenceSweep) {
+  std::mt19937_64 rng(0x4d415047u);  // "MAPG"
+  constexpr int kSamples = 25;
+  for (int i = 0; i < kSamples; ++i) {
+    const Sample s = draw(rng);
+    const std::string what = "sample " + std::to_string(i) + ": " +
+                             s.workload + " / " + s.policy +
+                             " seed=" + std::to_string(s.cfg.run_seed);
+
+    SimConfig fast = s.cfg;
+    fast.fast_forward = true;
+    SimConfig stepped = s.cfg;
+    stepped.fast_forward = false;
+
+    const WorkloadProfile* p = find_profile(s.workload);
+    ASSERT_NE(p, nullptr) << what;
+    const SimResult a = Simulator(fast).run(*p, s.policy);
+    const SimResult b = Simulator(stepped).run(*p, s.policy);
+
+    EXPECT_EQ(result_to_json(a).dump(), result_to_json(b).dump()) << what;
+    check_invariants(a, what + " [fast]");
+    check_invariants(b, what + " [stepped]");
+  }
+}
+
+}  // namespace
+}  // namespace mapg
