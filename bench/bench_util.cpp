@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "obs/obs.h"
+#include "obs/report.h"
+
 namespace mapg::bench {
 
 BenchEnv parse_env(int argc, char** argv, std::uint64_t default_instructions,
@@ -28,6 +31,14 @@ BenchEnv parse_env(int argc, char** argv, std::uint64_t default_instructions,
     if (word == "--no-cache") env.exec.use_disk_cache = false;
   env.exec.progress = cfg.get_bool("progress", false);
   env.exec.log_jsonl = cfg.get_or("runlog", "");
+
+  // --- Observability flags (docs/OBSERVABILITY.md) ---
+  env.metrics_out = cfg.get_or("metrics-out", "");
+  env.trace_out = cfg.get_or("trace-out", "");
+  if (!env.trace_out.empty())
+    obs::EventTracer::instance().start(static_cast<std::size_t>(cfg.get_uint(
+        "trace-buf", obs::EventTracer::kDefaultCapacity)));
+
   env.engine = std::make_shared<ExperimentEngine>(env.exec);
   return env;
 }
@@ -62,6 +73,18 @@ void report_engine(const BenchEnv& env) {
                static_cast<unsigned long long>(c.disk_hits),
                static_cast<unsigned long long>(s.jobs_failed), s.busy_ms,
                env.engine->options().jobs);
+
+  if (!env.metrics_out.empty() && obs::write_metrics_file(env.metrics_out))
+    std::fprintf(stderr, "[obs] metrics -> %s\n", env.metrics_out.c_str());
+  if (!env.trace_out.empty()) {
+    obs::EventTracer& tracer = obs::EventTracer::instance();
+    if (obs::finalize_and_write_trace(env.trace_out))
+      std::fprintf(stderr,
+                   "[obs] trace: %zu events (%llu dropped) -> %s\n",
+                   tracer.size(),
+                   static_cast<unsigned long long>(tracer.dropped()),
+                   env.trace_out.c_str());
+  }
 }
 
 }  // namespace mapg::bench

@@ -16,6 +16,12 @@
 //   --no-cache         ignore the disk cache for this run
 //   --progress=1       live jobs/sec meter on stderr
 //   --runlog=FILE      append per-job JSONL telemetry to FILE
+// Observability flags (see docs/OBSERVABILITY.md):
+//   --metrics-out=FILE write the end-of-run metrics snapshot as JSON
+//   --trace-out=FILE   record a Chrome trace (open in Perfetto or
+//                      chrome://tracing); per-job spans + counter tracks
+//   --trace-buf=N      trace ring capacity in events (default 262144;
+//                      overflow drops oldest and counts trace.dropped)
 #pragma once
 
 #include <memory>
@@ -36,6 +42,9 @@ struct BenchEnv {
   /// Engine built from `exec`; shared so every runner in the binary pools
   /// threads and memoized results.
   std::shared_ptr<ExperimentEngine> engine;
+  /// Observability sinks; empty = off.  Written by report_engine().
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 /// Parse argv into a SimConfig starting from the repository defaults.
@@ -51,6 +60,8 @@ void emit(const Table& table, const BenchEnv& env);
 
 /// One-line engine telemetry (sims run / cached / wall time) on stderr —
 /// kept off stdout so table output stays byte-identical across --jobs=N.
+/// Also flushes the observability sinks: --metrics-out JSON and the
+/// --trace-out Chrome trace, when configured.
 void report_engine(const BenchEnv& env);
 
 }  // namespace mapg::bench

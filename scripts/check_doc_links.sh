@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# check_doc_links.sh — fail if any markdown file in the repo contains a
+# relative link to a file that does not exist.
+#
+# Checked: inline links/images `[text](target)` in every *.md outside build
+# trees.  External schemes (http, https, mailto) and pure-anchor links are
+# skipped; `#fragment` suffixes and `"title"` annotations are stripped before
+# the existence test.  Relative targets resolve against the file's directory.
+#
+# Usage: scripts/check_doc_links.sh [repo-root]   (default: script's parent)
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 1
+
+fail=0
+checked=0
+
+# Markdown files, excluding build directories and third-party trees.
+mapfile -t files < <(find . -name '*.md' \
+  -not -path './build*' -not -path './.git/*' -not -path '*/node_modules/*' \
+  | sort)
+
+for file in "${files[@]}"; do
+  dir=$(dirname "$file")
+  # Pull out every](target) — good enough for the inline links we write.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*|'') continue ;;
+    esac
+    # Strip a quoted title and any #fragment.
+    target="${target%% \"*}"
+    target="${target%%#*}"
+    [ -z "$target" ] && continue
+    checked=$((checked + 1))
+    if [ "${target#/}" != "$target" ]; then
+      resolved=".$target"         # absolute-in-repo link
+    else
+      resolved="$dir/$target"
+    fi
+    if [ ! -e "$resolved" ]; then
+      echo "BROKEN: $file -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]*\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_doc_links: broken links found"
+  exit 1
+fi
+echo "check_doc_links: $checked links OK across ${#files[@]} markdown files"

@@ -1,6 +1,11 @@
-// Compatibility shim: ExperimentRunner moved to the exec subsystem (it now
-// executes on the parallel ExperimentEngine).  Link mapg_exec and prefer
-// including "exec/runner.h" directly in new code.
+// DEPRECATED compatibility shim — do not include in new code.
+//
+// ExperimentRunner moved to the exec subsystem in PR 1 (it now executes on
+// the parallel ExperimentEngine with the persistent result cache); the
+// implementation lives in src/exec/runner.{h,cpp} and the contract in
+// docs/EXEC.md.  This header survives only so pre-move includes keep
+// compiling; include "exec/runner.h" (and link mapg_exec) directly instead.
+// It will be removed once in-tree callers are gone.
 #pragma once
 
 #include "exec/runner.h"

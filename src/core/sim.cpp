@@ -3,10 +3,26 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "power/interval_energy.h"
 
 namespace mapg {
 namespace {
+
+#if MAPG_OBS_ENABLED
+/// Run-level (cold-path) roll-up: overall run count plus per-policy gating
+/// decision totals, so a sweep's metrics break down by policy without any
+/// per-stall string handling on the hot path.
+void record_run_metrics(const SimResult& r) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  reg.counter("sim.runs").inc();
+  const std::string prefix = "sim.policy." + r.policy;
+  reg.counter(prefix + ".runs").inc();
+  reg.counter(prefix + ".gated_events").inc(r.gating.gated_events);
+  reg.counter(prefix + ".skipped_events").inc(r.gating.skipped_events);
+  reg.counter(prefix + ".gated_cycles").inc(r.gating.activity.gated_cycles);
+}
+#endif
 
 /// Stall-kernel inputs derived from the platform configuration: stepping
 /// mode, DRAM refresh timing for the overlap meter, per-cycle energy rates
@@ -70,6 +86,7 @@ SimResult Simulator::run(const WorkloadProfile& profile,
 
 SimResult Simulator::run(TraceSource& trace, const std::string& workload_name,
                          PgPolicy& policy) const {
+  MAPG_OBS_SCOPED_TIMER("sim.run.ns", "sim");
   const PgCircuit circuit(config_.pg, config_.tech);
   MemoryHierarchy mem(config_.mem);
   const StallKernelParams kparams = make_kernel_params(config_, circuit);
@@ -104,6 +121,7 @@ SimResult Simulator::run(TraceSource& trace, const std::string& workload_name,
   result.energy.dram_j =
       compute_dram_energy_j(result.dram, config_.mem.dram, config_.tech,
                             config_.dram_energy, result.core.cycles);
+  MAPG_OBS_ONLY(record_run_metrics(result);)
   return result;
 }
 
@@ -208,6 +226,7 @@ ThermalResult Simulator::run_thermal(TraceSource& trace,
   result.sim.energy.dram_j =
       compute_dram_energy_j(result.sim.dram, config_.mem.dram, tech,
                             config_.dram_energy, result.sim.core.cycles);
+  MAPG_OBS_ONLY(record_run_metrics(result.sim);)
   return result;
 }
 

@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "exec/serialize.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 
 namespace mapg {
 
@@ -42,13 +44,31 @@ ExperimentEngine::ExperimentEngine(ExecOptions options)
       cache_(std::make_unique<ResultCache>(
           options_.use_disk_cache ? options_.cache_dir : std::string{})) {
   if (options_.jobs == 0) options_.jobs = ThreadPool::default_threads();
+  // Pre-register the engine's counter set so snapshots and traces carry the
+  // same metrics every run (zeros included), not just the ones a particular
+  // run happened to touch.
+  MAPG_OBS_ONLY({
+    auto& reg = obs::MetricsRegistry::instance();
+    for (const char* name :
+         {"exec.jobs.run", "exec.jobs.cached", "exec.jobs.failed",
+          "exec.cache.mem_hit", "exec.cache.disk_hit", "exec.cache.miss",
+          "exec.cache.store"})
+      reg.counter(name);
+  })
   if (!options_.log_jsonl.empty()) {
     log_ = std::make_unique<std::ofstream>(options_.log_jsonl,
                                            std::ios::app);
   }
 }
 
-ExperimentEngine::~ExperimentEngine() = default;
+ExperimentEngine::~ExperimentEngine() {
+  // Close the run log with a metrics snapshot line (docs/OBSERVABILITY.md):
+  // distinguishable from per-job lines by its "event" field.
+  MAPG_OBS_ONLY(if (log_ && log_->is_open()) {
+    *log_ << "{\"event\":\"metrics\",\"metrics\":"
+          << obs::metrics_json_string() << "}\n";
+  })
+}
 
 EngineStats ExperimentEngine::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
@@ -59,6 +79,9 @@ JobOutcome ExperimentEngine::execute(const ExperimentJob& job) {
   const std::string key =
       cache_key(job.config, job.profile, job.policy_spec);
   const double t0 = now_ms();
+  [[maybe_unused]] std::uint64_t trace_ts = 0;
+  MAPG_OBS_ONLY(if (obs::EventTracer::instance().enabled()) trace_ts =
+                    obs::EventTracer::instance().now_ns();)
   JobOutcome out;
 
   if (std::shared_ptr<const SimResult> hit = cache_->get(key)) {
@@ -90,6 +113,35 @@ JobOutcome ExperimentEngine::execute(const ExperimentJob& job) {
       ++stats_.jobs_run;
     stats_.busy_ms += out.wall_ms;
   }
+  MAPG_OBS_ONLY(
+    if (!out.ok) MAPG_OBS_COUNTER_INC("exec.jobs.failed");
+    else if (out.from_cache) MAPG_OBS_COUNTER_INC("exec.jobs.cached");
+    else MAPG_OBS_COUNTER_INC("exec.jobs.run");
+    MAPG_OBS_HIST_RECORD("exec.job.wall_ns",
+                         static_cast<std::uint64_t>(out.wall_ms * 1e6));
+    obs::EventTracer& tracer = obs::EventTracer::instance();
+    if (tracer.enabled()) {
+      tracer.complete("job", "exec", trace_ts, tracer.now_ns() - trace_ts,
+                      obs::TraceArgs()
+                          .add("workload", job.profile.name)
+                          .add("policy", job.policy_spec)
+                          .add("seed", job.config.run_seed)
+                          .add("cached", out.from_cache)
+                          .add("ok", out.ok)
+                          .json());
+      const CacheStatsSnapshot cs = cache_->stats();
+      tracer.counter("exec.cache",
+                     obs::TraceArgs()
+                         .add("hit", cs.memory_hits + cs.disk_hits)
+                         .add("miss", cs.misses)
+                         .json());
+      const EngineStats es = stats();
+      tracer.counter("exec.jobs", obs::TraceArgs()
+                                      .add("run", es.jobs_run)
+                                      .add("cached", es.jobs_cached)
+                                      .add("failed", es.jobs_failed)
+                                      .json());
+    })
   log_job(job, key, out);
   return out;
 }
@@ -205,15 +257,33 @@ SweepResult ExperimentEngine::run_sweep(const SweepSpec& spec) {
   return r;
 }
 
+namespace {
+
+/// parallel_for bodies are opaque (multicore cells, custom sweeps), so the
+/// per-task span carries only the index.
+void run_body_traced(const std::function<void(std::size_t)>& body,
+                     std::size_t i) {
+  [[maybe_unused]] std::uint64_t ts = 0;
+  MAPG_OBS_ONLY(obs::EventTracer& tracer = obs::EventTracer::instance();
+                if (tracer.enabled()) ts = tracer.now_ns();)
+  body(i);
+  MAPG_OBS_ONLY(if (tracer.enabled()) {
+    tracer.complete("task", "exec", ts, tracer.now_ns() - ts,
+                    obs::TraceArgs().add("index", std::uint64_t{i}).json());
+  })
+}
+
+}  // namespace
+
 void ExperimentEngine::parallel_for(
     std::size_t n, const std::function<void(std::size_t)>& body) {
   if (options_.jobs <= 1 || n <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) run_body_traced(body, i);
     return;
   }
   if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.jobs);
   for (std::size_t i = 0; i < n; ++i)
-    pool_->submit([&body, i] { body(i); });
+    pool_->submit([&body, i] { run_body_traced(body, i); });
   pool_->wait_idle();
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/log.h"
 #include "exec/serialize.h"
+#include "obs/obs.h"
 
 namespace mapg {
 
@@ -28,12 +29,14 @@ std::shared_ptr<const SimResult> ResultCache::get(const std::string& key) {
     const auto it = memory_.find(key);
     if (it != memory_.end()) {
       ++stats_.memory_hits;
+      MAPG_OBS_COUNTER_INC("exec.cache.mem_hit");
       return it->second;
     }
   }
   if (dir_.empty()) {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.misses;
+    MAPG_OBS_COUNTER_INC("exec.cache.miss");
     return nullptr;
   }
 
@@ -43,6 +46,7 @@ std::shared_ptr<const SimResult> ResultCache::get(const std::string& key) {
   if (!is) {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.misses;
+    MAPG_OBS_COUNTER_INC("exec.cache.miss");
     return nullptr;
   }
   std::stringstream buf;
@@ -54,12 +58,15 @@ std::shared_ptr<const SimResult> ResultCache::get(const std::string& key) {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.disk_errors;
     ++stats_.misses;
+    MAPG_OBS_COUNTER_INC("exec.cache.disk_error");
+    MAPG_OBS_COUNTER_INC("exec.cache.miss");
     return nullptr;
   }
   try {
     auto entry = std::make_shared<const SimResult>(result_from_json(*doc));
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.disk_hits;
+    MAPG_OBS_COUNTER_INC("exec.cache.disk_hit");
     memory_.emplace(key, entry);
     return entry;
   } catch (const std::exception& e) {
@@ -67,6 +74,8 @@ std::shared_ptr<const SimResult> ResultCache::get(const std::string& key) {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.disk_errors;
     ++stats_.misses;
+    MAPG_OBS_COUNTER_INC("exec.cache.disk_error");
+    MAPG_OBS_COUNTER_INC("exec.cache.miss");
     return nullptr;
   }
 }
@@ -78,6 +87,7 @@ std::shared_ptr<const SimResult> ResultCache::store(const std::string& key,
   {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.stores;
+    MAPG_OBS_COUNTER_INC("exec.cache.store");
     memory_[key] = entry;
     if (!dir_.empty()) {
       if (!dir_ready_) {

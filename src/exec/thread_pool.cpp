@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/obs.h"
+
 namespace mapg {
 
 unsigned ThreadPool::default_threads() {
@@ -34,9 +36,11 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     ++pending_;
+    MAPG_OBS_GAUGE_SET("exec.pool.pending", pending_);
     target = next_queue_;
     next_queue_ = (next_queue_ + 1) % queues_.size();
   }
+  MAPG_OBS_COUNTER_INC("exec.pool.submitted");
   {
     std::lock_guard<std::mutex> lk(queues_[target]->mu);
     queues_[target]->deque.push_back(std::move(task));
@@ -62,6 +66,7 @@ bool ThreadPool::try_get_task(std::size_t self, std::function<void()>& out) {
     if (!v.deque.empty()) {
       out = std::move(v.deque.front());
       v.deque.pop_front();
+      MAPG_OBS_COUNTER_INC("exec.pool.steals");
       return true;
     }
   }
@@ -79,6 +84,7 @@ void ThreadPool::worker_loop(std::size_t self) {
         // reaching here is contained so one bad task can't kill the pool.
       }
       std::lock_guard<std::mutex> lk(mu_);
+      MAPG_OBS_GAUGE_SET("exec.pool.pending", pending_ - 1);
       if (--pending_ == 0) idle_.notify_all();
       continue;
     }

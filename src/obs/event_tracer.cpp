@@ -1,0 +1,222 @@
+#include "obs/event_tracer.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/log.h"
+#include "obs/metrics.h"
+
+namespace mapg::obs {
+
+namespace {
+
+/// Sequential id per thread — compact track names instead of opaque
+/// std::thread::id hashes.
+std::uint32_t trace_tid() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void TraceArgs::key(std::string_view k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += json_quote(k);
+  body_ += ':';
+}
+
+TraceArgs& TraceArgs::add(std::string_view k, std::string_view value) {
+  key(k);
+  body_ += json_quote(value);
+  return *this;
+}
+
+TraceArgs& TraceArgs::add(std::string_view k, std::uint64_t value) {
+  key(k);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  body_ += buf;
+  return *this;
+}
+
+TraceArgs& TraceArgs::add(std::string_view k, std::int64_t value) {
+  key(k);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  body_ += buf;
+  return *this;
+}
+
+TraceArgs& TraceArgs::add(std::string_view k, double value) {
+  key(k);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  body_ += buf;
+  return *this;
+}
+
+TraceArgs& TraceArgs::add(std::string_view k, bool value) {
+  key(k);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+EventTracer& EventTracer::instance() {
+  static EventTracer tracer;
+  return tracer;
+}
+
+void EventTracer::start(std::size_t capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.clear();
+  dropped_ = 0;
+  capacity_ = capacity > 0 ? capacity : 1;
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void EventTracer::stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+std::uint64_t EventTracer::now_ns() const {
+  if (epoch_ == std::chrono::steady_clock::time_point{}) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void EventTracer::push(TraceEvent ev) {
+  // Resolved once; the registry guarantees the reference stays valid.
+  static Counter& dropped_counter =
+      MetricsRegistry::instance().counter("trace.dropped");
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.push_back(std::move(ev));
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+    dropped_counter.inc();
+  }
+}
+
+void EventTracer::complete(std::string_view name, std::string_view cat,
+                           std::uint64_t ts_ns, std::uint64_t dur_ns,
+                           std::string args_json) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.cat = std::string(cat);
+  ev.phase = 'X';
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.tid = trace_tid();
+  ev.args_json = std::move(args_json);
+  push(std::move(ev));
+}
+
+void EventTracer::instant(std::string_view name, std::string_view cat,
+                          std::string args_json) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.cat = std::string(cat);
+  ev.phase = 'i';
+  ev.ts_ns = now_ns();
+  ev.tid = trace_tid();
+  ev.args_json = std::move(args_json);
+  push(std::move(ev));
+}
+
+void EventTracer::counter(std::string_view name, std::string args_json) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.cat = "counter";
+  ev.phase = 'C';
+  ev.ts_ns = now_ns();
+  ev.tid = trace_tid();
+  ev.args_json = std::move(args_json);
+  push(std::move(ev));
+}
+
+std::size_t EventTracer::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ring_.size();
+}
+
+std::uint64_t EventTracer::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+void EventTracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.clear();
+  dropped_ = 0;
+}
+
+void EventTracer::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const TraceEvent& ev : ring_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":" << json_quote(ev.name)
+       << ",\"cat\":" << json_quote(ev.cat) << ",\"ph\":\"" << ev.phase
+       << "\"";
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(ev.ts_ns) / 1000.0);
+    os << ",\"ts\":" << buf;
+    if (ev.phase == 'X') {
+      std::snprintf(buf, sizeof buf, "%.3f",
+                    static_cast<double>(ev.dur_ns) / 1000.0);
+      os << ",\"dur\":" << buf;
+    }
+    os << ",\"pid\":1,\"tid\":" << ev.tid;
+    if (!ev.args_json.empty()) os << ",\"args\":" << ev.args_json;
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool EventTracer::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    log_warn() << "obs: cannot write trace file '" << path << "'";
+    return false;
+  }
+  write_json(os);
+  return os.good();
+}
+
+}  // namespace mapg::obs

@@ -1,0 +1,116 @@
+// EventTracer: bounded ring buffer of timeline events, emitted as Chrome
+// trace-format JSON (the `traceEvents` array understood by Perfetto and
+// chrome://tracing).
+//
+// The tracer is a process-global singleton that is OFF until start() is
+// called (the `--trace-out=FILE` flag in tools/benches does this).  Every
+// recording call first checks one relaxed atomic, so an idle tracer costs a
+// load+branch at instrumented sites and nothing else.  When active, events
+// go into a mutex-guarded ring of fixed capacity; overflow drops the OLDEST
+// event and increments the `trace.dropped` counter in the MetricsRegistry,
+// so a long run degrades to "most recent window" rather than unbounded
+// memory or a torn file.
+//
+// Timestamps are nanoseconds on the steady clock, relative to start();
+// write_json() converts to the microsecond floats the trace format wants.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace mapg::obs {
+
+/// Escape + quote a string for direct inclusion in JSON output.
+std::string json_quote(std::string_view s);
+
+/// Builder for the `args` object attached to an event; values are encoded
+/// eagerly so the hot path stores one ready string.
+class TraceArgs {
+ public:
+  TraceArgs& add(std::string_view key, std::string_view value);
+  TraceArgs& add(std::string_view key, const char* value) {
+    return add(key, std::string_view(value));
+  }
+  TraceArgs& add(std::string_view key, std::uint64_t value);
+  TraceArgs& add(std::string_view key, std::int64_t value);
+  TraceArgs& add(std::string_view key, unsigned value) {
+    return add(key, std::uint64_t{value});
+  }
+  TraceArgs& add(std::string_view key, int value) {
+    return add(key, std::int64_t{value});
+  }
+  TraceArgs& add(std::string_view key, double value);
+  TraceArgs& add(std::string_view key, bool value);
+
+  /// The finished JSON object text, e.g. `{"workload":"mcf-like","ok":true}`.
+  std::string json() const { return "{" + body_ + "}"; }
+
+ private:
+  void key(std::string_view k);
+  std::string body_;
+};
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'i';  ///< 'X' complete, 'i' instant, 'C' counter
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;  ///< complete events only
+  std::uint32_t tid = 0;
+  std::string args_json;  ///< empty or a JSON object text
+};
+
+class EventTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 18;  // 262144 events
+
+  static EventTracer& instance();
+
+  /// Enable recording with the given ring capacity; clears prior events and
+  /// resets the time base.
+  void start(std::size_t capacity = kDefaultCapacity);
+  void stop();  ///< disable recording; buffered events stay for write_json
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since start() on the steady clock (0 when never started).
+  std::uint64_t now_ns() const;
+
+  /// A span [ts, ts+dur) on the calling thread's track ('X' event).
+  void complete(std::string_view name, std::string_view cat,
+                std::uint64_t ts_ns, std::uint64_t dur_ns,
+                std::string args_json = {});
+  /// A point-in-time marker on the calling thread's track.
+  void instant(std::string_view name, std::string_view cat,
+               std::string args_json = {});
+  /// A counter-track sample; every numeric arg becomes one series.
+  void counter(std::string_view name, std::string args_json);
+
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+
+  /// Emit `{"traceEvents":[...]}`; valid (possibly empty) JSON always.
+  void write_json(std::ostream& os) const;
+  /// write_json to a file; false (with a warning log) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  void clear();
+
+ private:
+  EventTracer() = default;
+  void push(TraceEvent ev);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::deque<TraceEvent> ring_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+}  // namespace mapg::obs

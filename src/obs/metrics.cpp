@@ -1,0 +1,101 @@
+#include "obs/metrics.h"
+
+namespace mapg::obs {
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q <= 0.0) return min;
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > target) {
+      // Upper edge of bucket i, clamped into the observed range.
+      const std::uint64_t hi =
+          i >= 64 ? max : (std::uint64_t{1} << i) - (i == 0 ? 0 : 1);
+      return std::min(std::max(hi, min), max);
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot HistogramMetric::snapshot() const {
+  HistogramSnapshot s;
+  std::uint64_t min_seen = ~std::uint64_t{0};
+  for (const Shard& sh : shards_) {
+    for (std::size_t i = 0; i < kHistBuckets; ++i) {
+      const std::uint64_t c = sh.counts[i].load(std::memory_order_relaxed);
+      s.buckets[i] += c;
+      s.count += c;
+    }
+    s.sum += sh.sum.load(std::memory_order_relaxed);
+    min_seen = std::min(min_seen, sh.min.load(std::memory_order_relaxed));
+    s.max = std::max(s.max, sh.max.load(std::memory_order_relaxed));
+  }
+  s.min = s.count ? min_seen : 0;
+  return s;
+}
+
+void HistogramMetric::reset() {
+  for (Shard& sh : shards_) {
+    for (auto& c : sh.counts) c.store(0, std::memory_order_relaxed);
+    sh.sum.store(0, std::memory_order_relaxed);
+    sh.min.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    sh.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<HistogramMetric>())
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    s.histograms.emplace_back(name, h->snapshot());
+  return s;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& kv : counters_) kv.second->reset();
+  for (auto& kv : gauges_) kv.second->reset();
+  for (auto& kv : histograms_) kv.second->reset();
+}
+
+}  // namespace mapg::obs

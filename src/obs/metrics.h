@@ -1,0 +1,179 @@
+// MetricsRegistry: named counters / gauges / histograms for the whole stack.
+//
+// Design constraints (docs/OBSERVABILITY.md is the user-facing contract):
+//
+//  * Hot-path writes are lock-free and contention-free: every metric is
+//    sharded across kShards cache-line-aligned slots, each thread writes the
+//    slot picked by its stable thread index with relaxed atomics, and shards
+//    are merged only at snapshot/report time.  An increment is one relaxed
+//    fetch_add on a line no other running thread touches.
+//  * Registration is cold: call sites obtain a stable `Counter&` once
+//    (the MAPG_OBS_* macros cache it in a function-local static) and never
+//    take the registry lock again.  Metrics are never removed, so references
+//    stay valid for the process lifetime; reset_values() zeroes values
+//    without invalidating them (tests rely on this).
+//  * This library compiles identically whether or not instrumentation is
+//    enabled; the MAPG_OBS=OFF build simply compiles no call sites (see
+//    obs/obs.h), so the layer costs nothing when disabled.
+//
+// Layering: obs sits beside common at the bottom of the stack (it depends
+// only on mapg_common) so every subsystem — pg, core, exec, tools — may
+// instrument itself without cycles.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mapg::obs {
+
+/// Shards per metric.  More shards = less false sharing under heavy
+/// multi-thread write load; 16 covers the engine's default worker counts.
+inline constexpr std::size_t kShards = 16;
+
+/// Stable per-thread shard index, assigned round-robin on first use.
+inline std::size_t shard_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) {
+    shards_[shard_slot()].v.fetch_add(by, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-written level (queue depth, bytes resident, ...).  A single atomic:
+/// gauges are set at synchronization points, not in per-cycle loops.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t by) { v_.fetch_add(by, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { set(0); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Buckets of the fixed log2 histogram layout: bucket 0 holds exact zeros,
+/// bucket i >= 1 holds [2^(i-1), 2^i).  Covers the full uint64 range so no
+/// sample is ever out of range (durations in ns, cycle counts, sizes).
+inline constexpr std::size_t kHistBuckets = 65;
+
+inline std::size_t hist_bucket_of(std::uint64_t x) {
+  return x == 0 ? 0 : static_cast<std::size_t>(std::bit_width(x));
+}
+inline std::uint64_t hist_bucket_lo(std::size_t i) {
+  return i <= 1 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+/// Merged, point-in-time view of one histogram.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when empty
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+
+  double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+  /// Upper bound of the bucket containing quantile q (clamped to [min, max]).
+  std::uint64_t quantile(double q) const;
+};
+
+/// Fixed-bucket log2 histogram, sharded like Counter.
+class HistogramMetric {
+ public:
+  void record(std::uint64_t x) {
+    Shard& s = shards_[shard_slot()];
+    s.counts[hist_bucket_of(x)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(x, std::memory_order_relaxed);
+    std::uint64_t cur = s.min.load(std::memory_order_relaxed);
+    while (x < cur && !s.min.compare_exchange_weak(
+                          cur, x, std::memory_order_relaxed)) {
+    }
+    cur = s.max.load(std::memory_order_relaxed);
+    while (x > cur && !s.max.compare_exchange_weak(
+                          cur, x, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> counts{};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Everything the registry knows, merged and sorted by name (std::map order).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Find-or-create.  Returned references are valid for the process
+  /// lifetime.  Takes a lock — resolve once per call site, not per event
+  /// (the MAPG_OBS_* macros do this via function-local statics).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  HistogramMetric& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every metric's value; registered metrics (and outstanding
+  /// references to them) stay valid.  For tests and repeated in-process runs.
+  void reset_values();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
+      histograms_;
+};
+
+}  // namespace mapg::obs

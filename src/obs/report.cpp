@@ -1,0 +1,167 @@
+#include "obs/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "obs/event_tracer.h"
+#include "obs/obs.h"
+
+namespace mapg::obs {
+
+namespace {
+
+std::string u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+std::string i64(std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  return buf;
+}
+
+std::string hist_json(const HistogramSnapshot& h) {
+  std::string out = "{\"count\":" + u64(h.count) + ",\"sum\":" + u64(h.sum) +
+                    ",\"min\":" + u64(h.min) + ",\"max\":" + u64(h.max);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", h.mean());
+  out += ",\"mean\":";
+  out += buf;
+  out += ",\"p50\":" + u64(h.quantile(0.5)) + ",\"p95\":" +
+         u64(h.quantile(0.95));
+  // Non-empty buckets only, as [lo, count] pairs — compact and lossless
+  // given the fixed log2 layout.
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '[' + u64(hist_bucket_lo(i)) + ',' + u64(h.buckets[i]) + ']';
+  }
+  out += "]}";
+  return out;
+}
+
+/// Human-readable ns: raw below 10us, else us/ms/s with 2 decimals.
+std::string fmt_ns(double ns) {
+  char buf[32];
+  if (ns < 10e3)
+    std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  else if (ns < 10e6)
+    std::snprintf(buf, sizeof buf, "%.2fus", ns / 1e3);
+  else if (ns < 10e9)
+    std::snprintf(buf, sizeof buf, "%.2fms", ns / 1e6);
+  else
+    std::snprintf(buf, sizeof buf, "%.2fs", ns / 1e9);
+  return buf;
+}
+
+}  // namespace
+
+std::string metrics_json(const MetricsSnapshot& s) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : s.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += json_quote(name) + ":" + u64(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : s.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += json_quote(name) + ":" + i64(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += json_quote(name) + ":" + hist_json(h);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string metrics_json_string() {
+  return metrics_json(MetricsRegistry::instance().snapshot());
+}
+
+bool write_metrics_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    log_warn() << "obs: cannot write metrics file '" << path << "'";
+    return false;
+  }
+  os << metrics_json_string() << "\n";
+  return os.good();
+}
+
+void print_metrics_table(std::ostream& os, const MetricsSnapshot& s) {
+  Table t({"metric", "type", "value", "details"});
+  // Merge the three sorted kind lists back into one name-sorted table.
+  std::size_t ci = 0, gi = 0, hi = 0;
+  auto next_name = [&]() -> const std::string* {
+    const std::string* best = nullptr;
+    if (ci < s.counters.size()) best = &s.counters[ci].first;
+    if (gi < s.gauges.size() &&
+        (best == nullptr || s.gauges[gi].first < *best))
+      best = &s.gauges[gi].first;
+    if (hi < s.histograms.size() &&
+        (best == nullptr || s.histograms[hi].first < *best))
+      best = &s.histograms[hi].first;
+    return best;
+  };
+  while (const std::string* name = next_name()) {
+    if (ci < s.counters.size() && &s.counters[ci].first == name) {
+      t.begin_row().cell(*name).cell("counter").cell(s.counters[ci].second)
+          .cell("");
+      ++ci;
+    } else if (gi < s.gauges.size() && &s.gauges[gi].first == name) {
+      t.begin_row().cell(*name).cell("gauge").cell(s.gauges[gi].second)
+          .cell("");
+      ++gi;
+    } else {
+      const HistogramSnapshot& h = s.histograms[hi].second;
+      t.begin_row()
+          .cell(*name)
+          .cell("histogram")
+          .cell(h.count)
+          .cell("mean=" + fmt_ns(h.mean()) + " p50=" +
+                fmt_ns(static_cast<double>(h.quantile(0.5))) + " p95=" +
+                fmt_ns(static_cast<double>(h.quantile(0.95))) + " max=" +
+                fmt_ns(static_cast<double>(h.max)));
+      ++hi;
+    }
+  }
+  if (t.rows() == 0) {
+    os << "(no metrics recorded"
+       << (kCompiledIn ? ")" : "; built with MAPG_OBS=OFF)") << "\n";
+    return;
+  }
+  t.print(os);
+}
+
+void print_metrics_table(std::ostream& os) {
+  print_metrics_table(os, MetricsRegistry::instance().snapshot());
+}
+
+bool finalize_and_write_trace(const std::string& path) {
+  EventTracer& tracer = EventTracer::instance();
+  if (tracer.enabled()) {
+    const MetricsSnapshot s = MetricsRegistry::instance().snapshot();
+    for (const auto& [name, v] : s.counters)
+      tracer.counter(name, TraceArgs().add("value", v).json());
+  }
+  return tracer.write_file(path);
+}
+
+}  // namespace mapg::obs

@@ -1,0 +1,35 @@
+// Report sinks for the observability layer: metrics as JSON or as an
+// aligned human-readable table, and trace finalization/writing.  These are
+// the cold end of the pipeline — tools/benches call them once per process
+// (`--metrics-out`, `--print-metrics`, `--trace-out`).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace mapg::obs {
+
+/// `{"counters":{...},"gauges":{...},"histograms":{...}}` — keys sorted,
+/// integers exact, parseable by exec/json.h (tests verify the round trip).
+std::string metrics_json(const MetricsSnapshot& snapshot);
+
+/// metrics_json of the live registry.
+std::string metrics_json_string();
+
+/// Write metrics_json_string() to `path`; false + warning log on failure.
+bool write_metrics_file(const std::string& path);
+
+/// Sorted, aligned `metric | type | value | details` table (the
+/// `mapg_sim --print-metrics` output).
+void print_metrics_table(std::ostream& os, const MetricsSnapshot& snapshot);
+void print_metrics_table(std::ostream& os);
+
+/// Append one counter ('C') trace event per registry counter — a final
+/// sample so counter tracks (cache hits/misses, job totals) exist even for
+/// runs whose hot loop emitted none — then write the Chrome trace JSON to
+/// `path`.  False + warning log on failure.
+bool finalize_and_write_trace(const std::string& path);
+
+}  // namespace mapg::obs

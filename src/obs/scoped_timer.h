@@ -1,0 +1,50 @@
+// ScopedTimer: RAII wall-clock span.  On destruction it records the elapsed
+// nanoseconds into a histogram metric (when given one) and, if the tracer is
+// active, emits a complete ('X') event on the calling thread's track.
+//
+// Prefer the MAPG_OBS_SCOPED_TIMER macro (obs/obs.h): it resolves the
+// histogram once per call site and vanishes entirely in MAPG_OBS=OFF builds.
+#pragma once
+
+#include <chrono>
+
+#include "obs/event_tracer.h"
+#include "obs/metrics.h"
+
+namespace mapg::obs {
+
+class ScopedTimer {
+ public:
+  /// `hist` may be null (trace-only span).  `name`/`cat` label the trace
+  /// event and must outlive the timer (string literals at macro sites).
+  ScopedTimer(HistogramMetric* hist, const char* name, const char* cat)
+      : hist_(hist),
+        name_(name),
+        cat_(cat),
+        tracing_(EventTracer::instance().enabled()),
+        trace_ts_(tracing_ ? EventTracer::instance().now_ns() : 0),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    if (hist_ != nullptr) hist_->record(ns);
+    if (tracing_)
+      EventTracer::instance().complete(name_, cat_, trace_ts_, ns);
+  }
+
+ private:
+  HistogramMetric* hist_;
+  const char* name_;
+  const char* cat_;
+  bool tracing_;
+  std::uint64_t trace_ts_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mapg::obs

@@ -1,5 +1,7 @@
 #include "pg/pg_controller.h"
 
+#include "obs/obs.h"
+
 namespace mapg {
 
 PgController::PgController(PgPolicy& policy, const PgCircuit& circuit,
@@ -13,10 +15,23 @@ PgController::PgController(PgPolicy& policy, const PgCircuit& circuit,
                                                     arbiter_, params_);
 }
 
-PgController::~PgController() = default;
+PgController::~PgController() {
+#if MAPG_OBS_ENABLED
+  // Per-stall tallies are plain members (the controller is single-threaded
+  // within a run); they reach the shared registry once, here, so the stall
+  // path pays no atomics or TLS lookups.
+  auto& reg = obs::MetricsRegistry::instance();
+  if (obs_windows_ > 0)
+    reg.counter(stepped_ != nullptr ? "sim.stall.stepped" : "sim.stall.fast")
+        .inc(obs_windows_);
+  if (obs_refresh_windows_ > 0)
+    reg.counter("sim.stall.refresh_windows").inc(obs_refresh_windows_);
+#endif
+}
 
 Cycle PgController::on_stall(const StallEvent& ev) {
   ++stats_.eligible_stalls;
+  MAPG_OBS_ONLY(++obs_windows_;)
   // Feedback for adaptive policies: the controller timestamps stall onset
   // and the data-arrival event, so the true length is always observable.
   policy_.observe(ev);
@@ -56,6 +71,8 @@ Cycle PgController::on_stall(const StallEvent& ev) {
 
   stats_.idle_ungated_cycles += out.idle_ungated_cycles;
   stats_.refresh_window_cycles += out.refresh_overlap_cycles;
+  MAPG_OBS_ONLY(obs_refresh_windows_ +=
+                    static_cast<std::uint64_t>(out.refresh_overlap_cycles > 0);)
   stall_energy_j_ += out.window_energy_j;
 
   return out.resume;

@@ -111,6 +111,12 @@ class PgController final : public StallHandler {
   std::unique_ptr<SteppedStallKernel> stepped_;
   GatingStats stats_;
   double stall_energy_j_ = 0;
+#if MAPG_OBS_ENABLED
+  /// Plain per-controller tallies flushed to the MetricsRegistry in the
+  /// destructor — keeps the per-stall path free of atomics and TLS lookups.
+  std::uint64_t obs_windows_ = 0;
+  std::uint64_t obs_refresh_windows_ = 0;
+#endif
 };
 
 }  // namespace mapg

@@ -20,6 +20,8 @@
 #include "exec/runner.h"
 #include "multicore/config_apply.h"
 #include "multicore/multicore.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 #include "pg/factory.h"
 #include "trace/profile.h"
 
@@ -65,6 +67,9 @@ int usage() {
       "  --no-cache=1                    skip the disk cache this run\n"
       "  --progress=1                    live job meter on stderr\n"
       "  --runlog=FILE                   append per-job JSONL telemetry\n"
+      "  --print-metrics                 metrics table on stdout after the run\n"
+      "  --metrics-out=FILE              metrics snapshot as JSON\n"
+      "  --trace-out=FILE                Chrome trace (Perfetto-loadable)\n"
       "  --csv=1                         CSV output\n"
       "  --list                          available workloads and policies\n";
   return 2;
@@ -234,9 +239,16 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (word == "--help" || word == "-h") return usage();
+    if (word == "--print-metrics") {
+      kv.set("print-metrics", "1");
+      continue;
+    }
     std::cerr << "unrecognized argument '" << word << "'\n";
     return usage();
   }
+
+  const std::string trace_out = kv.get_or("trace-out", "");
+  if (!trace_out.empty()) obs::EventTracer::instance().start();
 
   if (auto cfg_path = kv.get("config")) {
     std::ifstream is(*cfg_path);
@@ -267,7 +279,24 @@ int main(int argc, char** argv) {
   const bool csv = kv.get_bool("csv", false);
   const auto seeds = static_cast<unsigned>(kv.get_uint("seeds", 1));
 
-  if (kv.get_uint("cores", 0) > 1)
-    return run_multicore(kv, workloads, specs, csv);
-  return run_single(kv, workloads, specs, csv, seeds);
+  const int rc = kv.get_uint("cores", 0) > 1
+                     ? run_multicore(kv, workloads, specs, csv)
+                     : run_single(kv, workloads, specs, csv, seeds);
+
+  // Observability sinks run even after a failed run — partial metrics are
+  // exactly what one wants when debugging the failure.
+  if (kv.get_bool("print-metrics", false)) {
+    std::cout << "\n";
+    obs::print_metrics_table(std::cout);
+  }
+  const std::string metrics_out = kv.get_or("metrics-out", "");
+  if (!metrics_out.empty() && obs::write_metrics_file(metrics_out))
+    std::cerr << "[obs] metrics -> " << metrics_out << "\n";
+  if (!trace_out.empty()) {
+    obs::EventTracer& tracer = obs::EventTracer::instance();
+    if (obs::finalize_and_write_trace(trace_out))
+      std::cerr << "[obs] trace: " << tracer.size() << " events ("
+                << tracer.dropped() << " dropped) -> " << trace_out << "\n";
+  }
+  return rc;
 }
