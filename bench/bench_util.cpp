@@ -19,6 +19,11 @@ BenchEnv parse_env(int argc, char** argv, std::uint64_t default_instructions,
   env.sim.warmup_instructions = cfg.get_uint("warmup", default_warmup);
   env.sim.run_seed = cfg.get_uint("seed", 42);
   env.sim.fast_forward = cfg.get_bool("fast-forward", true);
+  const std::string dram_power = cfg.get_or("dram-power", "off");
+  if (dram_power == "timeout")
+    env.sim.mem.dram.power.mode = DramPowerMode::kTimeout;
+  else if (dram_power == "coordinated")
+    env.sim.mem.dram.power.mode = DramPowerMode::kCoordinated;
   env.csv = cfg.get_bool("csv", false);
 
   // --- Execution engine flags ---

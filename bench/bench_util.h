@@ -7,6 +7,11 @@
 //   --fast-forward=0   tick stall windows cycle-by-cycle instead of the
 //                      closed-form fast path (bit-identical, much slower;
 //                      see bench/micro_ff_speedup.cpp)
+//   --dram-power=MODE  DRAM low-power states (docs/MEMORY_POWER.md):
+//                      off (default), timeout (idle channels park on a
+//                      per-channel timer), coordinated (the PG controller
+//                      parks idle channels during gated stalls; pair with
+//                      a "<policy>-dram" spec)
 //   --csv=1            emit CSV instead of the aligned text table
 // Execution-engine flags (see docs/EXEC.md):
 //   --jobs=N           simulation worker threads (default: all hardware

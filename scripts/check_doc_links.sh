@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# check_doc_links.sh — fail if any markdown file in the repo contains a
-# relative link to a file that does not exist.
+# check_doc_links.sh — documentation consistency gate.
 #
-# Checked: inline links/images `[text](target)` in every *.md outside build
-# trees.  External schemes (http, https, mailto) and pure-anchor links are
-# skipped; `#fragment` suffixes and `"title"` annotations are stripped before
-# the existence test.  Relative targets resolve against the file's directory.
+# Three checks, all fatal:
+#   1. Inline links/images `[text](target)` in every *.md outside build
+#      trees must point at existing files.  External schemes (http, https,
+#      mailto) and pure-anchor links are skipped; `#fragment` suffixes and
+#      `"title"` annotations are stripped before the existence test.
+#      Relative targets resolve against the file's directory.
+#   2. Every file under docs/ must be reachable from the README
+#      Documentation index (a doc nobody can find is a doc that drifts).
+#   3. Fenced ```cpp blocks in docs/MEMORY_POWER.md must compile
+#      (`c++ -std=c++20 -fsyntax-only -I src`), so the examples cannot
+#      drift from the API they document.
 #
 # Usage: scripts/check_doc_links.sh [repo-root]   (default: script's parent)
 set -u
@@ -45,8 +51,40 @@ for file in "${files[@]}"; do
   done < <(grep -oE '\]\([^)]*\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
 done
 
+# --- 2. docs/ reachability from the README Documentation index ------------
+# Every doc must be linked from README.md (directly, as `docs/NAME.md`).
+for doc in docs/*.md; do
+  if ! grep -qF "($doc)" README.md; then
+    echo "UNREACHABLE: $doc is not linked from README.md"
+    fail=1
+  fi
+done
+
+# --- 3. compile the fenced cpp blocks in docs/MEMORY_POWER.md -------------
+# Each block is extracted to its own translation unit and syntax-checked
+# against the real headers.
+blocks=0
+if [ -f docs/MEMORY_POWER.md ]; then
+  tmpdir=$(mktemp -d)
+  trap 'rm -rf "$tmpdir"' EXIT
+  awk -v dir="$tmpdir" '
+    /^```cpp$/ { inblock = 1; n += 1; out = dir "/block" n ".cpp"; next }
+    /^```$/    { inblock = 0 }
+    inblock    { print > out }
+  ' docs/MEMORY_POWER.md
+  for block in "$tmpdir"/block*.cpp; do
+    [ -e "$block" ] || continue
+    blocks=$((blocks + 1))
+    if ! c++ -std=c++20 -fsyntax-only -I src "$block"; then
+      echo "DOC CODE BROKEN: docs/MEMORY_POWER.md $(basename "$block") does not compile"
+      fail=1
+    fi
+  done
+fi
+
 if [ "$fail" -ne 0 ]; then
-  echo "check_doc_links: broken links found"
+  echo "check_doc_links: documentation checks failed"
   exit 1
 fi
-echo "check_doc_links: $checked links OK across ${#files[@]} markdown files"
+echo "check_doc_links: $checked links OK across ${#files[@]} markdown files;" \
+     "docs/ index complete; $blocks doc code blocks compile"

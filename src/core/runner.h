@@ -5,7 +5,8 @@
 // implementation lives in src/exec/runner.{h,cpp} and the contract in
 // docs/EXEC.md.  This header survives only so pre-move includes keep
 // compiling; include "exec/runner.h" (and link mapg_exec) directly instead.
-// It will be removed once in-tree callers are gone.
+// Removal target: PR 6 (no in-tree callers remain; external users should
+// have migrated by then).
 #pragma once
 
 #include "exec/runner.h"

@@ -36,6 +36,16 @@ StallKernelParams make_kernel_params(const SimConfig& config,
   p.t_rfc = config.mem.dram.t_rfc;
   p.rates = StallEnergyRates::make(config.tech, circuit, config.dram_energy,
                                    config.mem.dram.channels);
+  const DramPowerConfig& pw = config.mem.dram.power;
+  if (pw.mode == DramPowerMode::kCoordinated) {
+    p.dram_pd.enabled = true;
+    p.dram_pd.t_pd = pw.t_pd;
+    p.dram_pd.t_xp = pw.t_xp;
+    p.dram_pd.t_cke = pw.t_cke;
+    // All channels but the one serving the blocking request may park.
+    p.dram_pd.idle_channels =
+        config.mem.dram.channels > 0 ? config.mem.dram.channels - 1 : 0;
+  }
   return p;
 }
 
@@ -99,12 +109,16 @@ SimResult Simulator::run(TraceSource& trace, const std::string& workload_name,
   // realistic), but its statistics are discarded.
   if (config_.warmup_instructions > 0) {
     core.run(trace, config_.warmup_instructions);
+    // Classify warmup idle before the reset so the measured residency
+    // counters cover exactly the measured window.
+    mem.dram().settle_power(core.now());
     core.reset_stats();
     mem.reset_stats();
     controller.reset_stats();
   }
 
   core.run(trace, config_.instructions);
+  mem.dram().settle_power(core.now());
 
   SimResult result;
   result.workload = workload_name;
@@ -118,9 +132,12 @@ SimResult Simulator::run(TraceSource& trace, const std::string& workload_name,
   result.gating = controller.stats();
   result.energy = compute_energy(config_.tech, &circuit, result.core,
                                  result.gating.activity);
-  result.energy.dram_j =
-      compute_dram_energy_j(result.dram, config_.mem.dram, config_.tech,
-                            config_.dram_energy, result.core.cycles);
+  const DramEnergyBreakdown dram_e = compute_dram_energy_breakdown(
+      result.dram, config_.mem.dram, config_.tech, config_.dram_energy,
+      result.core.cycles, result.gating.dram_pd_channel_cycles);
+  result.energy.dram_j = dram_e.total_j();
+  result.energy.dram_background_j = dram_e.background_j;
+  result.energy.dram_lowpower_saved_j = dram_e.lowpower_saved_j;
   MAPG_OBS_ONLY(record_run_metrics(result);)
   return result;
 }
@@ -203,6 +220,7 @@ ThermalResult Simulator::run_thermal(TraceSource& trace,
 
   if (config_.warmup_instructions > 0) {
     run_phase(config_.warmup_instructions, nullptr);
+    mem.dram().settle_power(core.now());
     core.reset_stats();
     mem.reset_stats();
     controller.reset_stats();
@@ -210,6 +228,7 @@ ThermalResult Simulator::run_thermal(TraceSource& trace,
 
   ThermalResult result;
   run_phase(config_.instructions, &result);
+  mem.dram().settle_power(core.now());
   result.final_temperature_c = thermal.temperature_c();
 
   result.sim.workload = workload_name;
@@ -223,9 +242,12 @@ ThermalResult Simulator::run_thermal(TraceSource& trace,
   result.sim.gating = controller.stats();
   result.sim.energy = compute_energy(tech, &circuit, result.sim.core,
                                      result.sim.gating.activity);
-  result.sim.energy.dram_j =
-      compute_dram_energy_j(result.sim.dram, config_.mem.dram, tech,
-                            config_.dram_energy, result.sim.core.cycles);
+  const DramEnergyBreakdown dram_e = compute_dram_energy_breakdown(
+      result.sim.dram, config_.mem.dram, tech, config_.dram_energy,
+      result.sim.core.cycles, result.sim.gating.dram_pd_channel_cycles);
+  result.sim.energy.dram_j = dram_e.total_j();
+  result.sim.energy.dram_background_j = dram_e.background_j;
+  result.sim.energy.dram_lowpower_saved_j = dram_e.lowpower_saved_j;
   MAPG_OBS_ONLY(record_run_metrics(result.sim);)
   return result;
 }

@@ -92,6 +92,16 @@ Json config_json(const SimConfig& c) {
   dram["t_ras"] = Json::number(c.mem.dram.t_ras);
   dram["t_rfc"] = Json::number(c.mem.dram.t_rfc);
   dram["t_refi"] = Json::number(c.mem.dram.t_refi);
+  Json dpw = Json::object();
+  dpw["mode"] = Json::number(static_cast<int>(c.mem.dram.power.mode));
+  dpw["t_pd"] = Json::number(c.mem.dram.power.t_pd);
+  dpw["t_xp"] = Json::number(c.mem.dram.power.t_xp);
+  dpw["t_cke"] = Json::number(c.mem.dram.power.t_cke);
+  dpw["t_xs"] = Json::number(c.mem.dram.power.t_xs);
+  dpw["powerdown_timeout"] = Json::number(c.mem.dram.power.powerdown_timeout);
+  dpw["selfrefresh_timeout"] =
+      Json::number(c.mem.dram.power.selfrefresh_timeout);
+  dram["power"] = std::move(dpw);
   mem["dram"] = std::move(dram);
   mem["mc_request_latency"] = Json::number(c.mem.mc_request_latency);
   mem["fill_return_latency"] = Json::number(c.mem.fill_return_latency);
@@ -134,6 +144,10 @@ Json config_json(const SimConfig& c) {
   Json de = Json::object();
   de["background_w_per_channel"] =
       Json::number(c.dram_energy.background_w_per_channel);
+  de["powerdown_w_per_channel"] =
+      Json::number(c.dram_energy.powerdown_w_per_channel);
+  de["selfrefresh_w_per_channel"] =
+      Json::number(c.dram_energy.selfrefresh_w_per_channel);
   de["activate_nj"] = Json::number(c.dram_energy.activate_nj);
   de["read_nj"] = Json::number(c.dram_energy.read_nj);
   de["write_nj"] = Json::number(c.dram_energy.write_nj);
@@ -288,6 +302,13 @@ Json result_to_json(const SimResult& r) {
   dram["row_closed"] = Json::number(r.dram.row_closed);
   dram["row_conflicts"] = Json::number(r.dram.row_conflicts);
   dram["refresh_delays"] = Json::number(r.dram.refresh_delays);
+  dram["active_cycles"] = Json::number(r.dram.active_cycles);
+  dram["refresh_cycles"] = Json::number(r.dram.refresh_cycles);
+  dram["powerdown_cycles"] = Json::number(r.dram.powerdown_cycles);
+  dram["selfrefresh_cycles"] = Json::number(r.dram.selfrefresh_cycles);
+  dram["powerdown_entries"] = Json::number(r.dram.powerdown_entries);
+  dram["selfrefresh_entries"] = Json::number(r.dram.selfrefresh_entries);
+  dram["lowpower_exit_delay"] = Json::number(r.dram.lowpower_exit_delay);
   dram["read_latency"] = rstat_to_json(r.dram.read_latency);
   j["dram"] = std::move(dram);
 
@@ -314,6 +335,9 @@ Json result_to_json(const SimResult& r) {
   gating["idle_ungated_cycles"] = Json::number(r.gating.idle_ungated_cycles);
   gating["refresh_window_cycles"] =
       Json::number(r.gating.refresh_window_cycles);
+  gating["dram_pd_channel_cycles"] =
+      Json::number(r.gating.dram_pd_channel_cycles);
+  gating["dram_pd_windows"] = Json::number(r.gating.dram_pd_windows);
   gating["gated_len_hist"] = hist_to_json(r.gating.gated_len_hist);
   j["gating"] = std::move(gating);
 
@@ -324,6 +348,9 @@ Json result_to_json(const SimResult& r) {
   energy["idle_clock_j"] = Json::number(r.energy.idle_clock_j);
   energy["pg_overhead_j"] = Json::number(r.energy.pg_overhead_j);
   energy["dram_j"] = Json::number(r.energy.dram_j);
+  energy["dram_background_j"] = Json::number(r.energy.dram_background_j);
+  energy["dram_lowpower_saved_j"] =
+      Json::number(r.energy.dram_lowpower_saved_j);
   energy["core_leak_baseline_j"] =
       Json::number(r.energy.core_leak_baseline_j);
   j["energy"] = std::move(energy);
@@ -372,6 +399,13 @@ SimResult result_from_json(const Json& j) {
   r.dram.row_closed = dram.get("row_closed").as_u64();
   r.dram.row_conflicts = dram.get("row_conflicts").as_u64();
   r.dram.refresh_delays = dram.get("refresh_delays").as_u64();
+  r.dram.active_cycles = dram.get("active_cycles").as_u64();
+  r.dram.refresh_cycles = dram.get("refresh_cycles").as_u64();
+  r.dram.powerdown_cycles = dram.get("powerdown_cycles").as_u64();
+  r.dram.selfrefresh_cycles = dram.get("selfrefresh_cycles").as_u64();
+  r.dram.powerdown_entries = dram.get("powerdown_entries").as_u64();
+  r.dram.selfrefresh_entries = dram.get("selfrefresh_entries").as_u64();
+  r.dram.lowpower_exit_delay = dram.get("lowpower_exit_delay").as_u64();
   r.dram.read_latency = rstat_from_json(dram.get("read_latency"));
 
   const Json& gating = j.get("gating");
@@ -396,6 +430,9 @@ SimResult result_from_json(const Json& j) {
   r.gating.idle_ungated_cycles = gating.get("idle_ungated_cycles").as_u64();
   r.gating.refresh_window_cycles =
       gating.get("refresh_window_cycles").as_u64();
+  r.gating.dram_pd_channel_cycles =
+      gating.get("dram_pd_channel_cycles").as_u64();
+  r.gating.dram_pd_windows = gating.get("dram_pd_windows").as_u64();
   r.gating.gated_len_hist = hist_from_json(gating.get("gated_len_hist"));
 
   const Json& energy = j.get("energy");
@@ -405,6 +442,9 @@ SimResult result_from_json(const Json& j) {
   r.energy.idle_clock_j = energy.get("idle_clock_j").as_double();
   r.energy.pg_overhead_j = energy.get("pg_overhead_j").as_double();
   r.energy.dram_j = energy.get("dram_j").as_double();
+  r.energy.dram_background_j = energy.get("dram_background_j").as_double();
+  r.energy.dram_lowpower_saved_j =
+      energy.get("dram_lowpower_saved_j").as_double();
   r.energy.core_leak_baseline_j =
       energy.get("core_leak_baseline_j").as_double();
 

@@ -29,7 +29,11 @@ namespace mapg {
 /// old cache entries are then simply never matched again.
 /// v2: SimConfig::fast_forward joined the experiment identity, and
 /// GatingStats grew idle_ungated_cycles / refresh_window_cycles.
-inline constexpr int kExecSchemaVersion = 2;
+/// v3: DRAM low-power states. DramConfig::power + the two DramEnergyParams
+/// low-power draws joined the experiment identity; DramStats grew the
+/// residency counters, GatingStats the coordinated-PD tallies, and
+/// EnergyBreakdown the dram background / low-power-saved split.
+inline constexpr int kExecSchemaVersion = 3;
 
 // --- Results ---
 Json result_to_json(const SimResult& r);

@@ -4,7 +4,14 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace mapg {
+
+namespace {
+/// Sentinel for "this transition never happens".
+constexpr Cycle kNever = ~Cycle{0};
+}  // namespace
 
 bool DramConfig::valid() const {
   if (channels == 0 || banks_per_channel == 0) return false;
@@ -12,6 +19,7 @@ bool DramConfig::valid() const {
   if (row_bytes < line_bytes || row_bytes % line_bytes != 0) return false;
   if (t_cl == 0 || t_bl == 0) return false;
   if (t_refi > 0 && t_rfc >= t_refi) return false;
+  if (!power.valid()) return false;
   return true;
 }
 
@@ -19,6 +27,21 @@ Dram::Dram(DramConfig config) : config_(config) {
   assert(config_.valid() && "invalid DRAM configuration");
   channels_.resize(config_.channels);
   for (auto& ch : channels_) ch.banks.resize(config_.banks_per_channel);
+}
+
+Dram::~Dram() {
+  MAPG_OBS_ONLY({
+    if (stats_.powerdown_cycles || stats_.selfrefresh_cycles) {
+      MAPG_OBS_COUNTER_ADD("sim.dram.powerdown_cycles",
+                           stats_.powerdown_cycles);
+      MAPG_OBS_COUNTER_ADD("sim.dram.selfrefresh_cycles",
+                           stats_.selfrefresh_cycles);
+      MAPG_OBS_COUNTER_ADD("sim.dram.powerdown_entries",
+                           stats_.powerdown_entries);
+      MAPG_OBS_COUNTER_ADD("sim.dram.selfrefresh_entries",
+                           stats_.selfrefresh_entries);
+    }
+  });
 }
 
 void Dram::map_address(Addr line_addr, std::uint32_t& channel,
@@ -44,6 +67,115 @@ Cycle Dram::skip_refresh(Cycle start) {
   return start;
 }
 
+Cycle Dram::refresh_overlap(Cycle begin, Cycle end) const {
+  if (config_.t_refi == 0 || config_.t_rfc == 0 || end <= begin) return 0;
+  const Cycle per = std::min(config_.t_rfc, config_.t_refi);
+  const auto busy = [&](Cycle bound) {
+    return (bound / config_.t_refi) * per +
+           std::min(bound % config_.t_refi, per);
+  };
+  return busy(end) - busy(begin);
+}
+
+void Dram::settle_channel(Channel& ch, Cycle upto) {
+  const DramPowerConfig& p = config_.power;
+  if (upto <= ch.accounted_until) return;
+
+  const auto account_active = [&](Cycle b, Cycle e) {
+    const Cycle ref = refresh_overlap(b, e);
+    stats_.refresh_cycles += ref;
+    stats_.active_cycles += (e - b) - ref;
+  };
+
+  Cycle cur = ch.accounted_until;
+  ch.accounted_until = upto;
+
+  // The tail of the previous burst (and any exit ramp) is active time.
+  const Cycle busy_end = std::min(upto, std::max(cur, ch.idle_from));
+  if (busy_end > cur) {
+    account_active(cur, busy_end);
+    cur = busy_end;
+  }
+  if (cur >= upto) return;
+
+  // Idle gap: the timeout machinery.  Entry ramps ([*_at, *_at + t_pd))
+  // count as active; residency counts once the state is established.
+  const Cycle pd_at = p.powerdown_timeout > 0
+                          ? ch.idle_from + p.powerdown_timeout
+                          : kNever;
+  const Cycle sr_at = p.selfrefresh_timeout > 0
+                          ? ch.idle_from + p.selfrefresh_timeout
+                          : kNever;
+  const Cycle pd_est = pd_at == kNever ? kNever : pd_at + p.t_pd;
+  const Cycle sr_est = sr_at == kNever ? kNever : sr_at + p.t_pd;
+
+  const Cycle active_end = std::min(upto, std::min(pd_est, sr_est));
+  if (active_end > cur) {
+    account_active(cur, active_end);
+    cur = active_end;
+  }
+  if (pd_est < sr_est && upto > pd_est) {
+    // Power-down holds until self-refresh is established (CKE stays low
+    // across the escalation, so the PD->SR ramp is charged as PD).
+    const Cycle pd_end = std::min(upto, sr_est);
+    if (cur <= pd_est && pd_end > pd_est) ++stats_.powerdown_entries;
+    if (pd_end > cur) {
+      stats_.powerdown_cycles += pd_end - cur;
+      cur = pd_end;
+    }
+  }
+  if (sr_est != kNever && upto > sr_est) {
+    if (cur <= sr_est) ++stats_.selfrefresh_entries;
+    if (upto > cur) {
+      stats_.selfrefresh_cycles += upto - cur;
+      cur = upto;
+    }
+  }
+}
+
+Cycle Dram::power_exit_shift(Channel& ch, Cycle now) {
+  const DramPowerConfig& p = config_.power;
+  settle_channel(ch, now);
+  if (now <= ch.idle_from) return 0;  // channel still busy: no state entered
+
+  const Cycle pd_at = p.powerdown_timeout > 0
+                          ? ch.idle_from + p.powerdown_timeout
+                          : kNever;
+  const Cycle sr_at = p.selfrefresh_timeout > 0
+                          ? ch.idle_from + p.selfrefresh_timeout
+                          : kNever;
+
+  Cycle shift = 0;
+  if (sr_at != kNever && now >= sr_at + p.t_pd) {
+    // In self-refresh: exit initiates immediately, first command after tXS.
+    shift = p.t_xs;
+  } else if (pd_at != kNever && now >= pd_at + p.t_pd) {
+    // In power-down: CKE may not rise before tCKE(min) has elapsed since it
+    // fell, then the exit ramp takes tXP.  The hold remainder [now,
+    // exit_start) delays timing but is classified as active by the next
+    // settle (like entry ramps) — advancing accounted_until past `now` here
+    // would let a warmup-boundary reset lose those cycles and break the
+    // residency-conservation equality.
+    const Cycle exit_start = std::max(now, pd_at + p.t_cke);
+    shift = (exit_start - now) + p.t_xp;
+  } else {
+    return 0;  // idle but no state established (entry in progress is free)
+  }
+
+  // Both states require all banks precharged: entering closed the rows.
+  for (auto& bank : ch.banks) {
+    bank.row_open = false;
+    bank.open_row = ~0ULL;
+  }
+  stats_.lowpower_exit_delay += shift;
+  return shift;
+}
+
+void Dram::settle_power(Cycle now) {
+  if (config_.power.mode != DramPowerMode::kTimeout) return;
+  for (auto& ch : channels_) settle_channel(ch, now);
+}
+
 Cycle Dram::bank_ready(std::uint32_t channel, std::uint32_t bank) const {
   return channels_.at(channel).banks.at(bank).ready_at;
 }
@@ -53,6 +185,15 @@ DramResult Dram::access(Addr line_addr, bool is_write, Cycle now) {
   std::uint64_t row = 0;
   map_address(line_addr, ch_idx, bank_idx, row);
   Channel& ch = channels_[ch_idx];
+
+  // Low-power exit: a sleeping channel delays the request by its exit
+  // latency.  Applied before the refresh check so an exit that lands inside
+  // a refresh window pays the remainder of that window (the device still
+  // owes the deferred auto-refresh; see docs/MEMORY_POWER.md).
+  Cycle wake = 0;
+  if (config_.power.mode == DramPowerMode::kTimeout)
+    wake = power_exit_shift(ch, now);
+
   Bank& bank = ch.banks[bank_idx];
 
   DramResult res;
@@ -60,9 +201,9 @@ DramResult Dram::access(Addr line_addr, bool is_write, Cycle now) {
   res.bank = bank_idx;
   res.estimate = now + config_.estimate_latency();
 
-  // Command dispatch can begin once the bank has finished its prior work and
-  // any refresh in progress has completed.
-  Cycle start = skip_refresh(std::max(now, bank.ready_at));
+  // Command dispatch can begin once the channel is awake, the bank has
+  // finished its prior work, and any refresh in progress has completed.
+  Cycle start = skip_refresh(std::max(now + wake, bank.ready_at));
 
   Cycle col_ready;  // earliest cycle the column command may issue
   if (bank.row_open && bank.open_row == row) {
@@ -103,6 +244,12 @@ DramResult Dram::access(Addr line_addr, bool is_write, Cycle now) {
 
   res.commit = col;
   res.completion = data_end;
+
+  if (config_.power.mode == DramPowerMode::kTimeout) {
+    // The channel is busy until the burst drains; the idle-timeout clock
+    // restarts there.
+    ch.idle_from = std::max(ch.idle_from, data_end);
+  }
 
   if (is_write) {
     ++stats_.writes;

@@ -13,10 +13,14 @@
 //
 // Modeled: per-bank row buffers (open-page), activate/precharge/CAS timing,
 // tRAS row-occupancy, per-channel data-bus contention, periodic refresh
-// (tREFI/tRFC).  Simplifications (documented in DESIGN.md): in-order request
-// service per arrival (FR-FCFS reordering is approximated by the row-buffer
-// state it would produce on a single in-order core), single rank per channel,
-// and refresh checked at request start only.
+// (tREFI/tRFC), and per-channel low-power states (precharge power-down and
+// self-refresh; see DramPowerConfig and docs/MEMORY_POWER.md).
+// Simplifications (documented in DESIGN.md): in-order request service per
+// arrival (FR-FCFS reordering is approximated by the row-buffer state it
+// would produce on a single in-order core), single rank per channel, and
+// refresh checked at request start -- where "start" includes any low-power
+// exit shift, so a self-refresh exit that lands inside a refresh window pays
+// the remainder of that window instead of silently skipping it.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +30,47 @@
 #include "common/types.h"
 
 namespace mapg {
+
+/// DRAM low-power operating mode (docs/MEMORY_POWER.md).
+enum class DramPowerMode : std::uint8_t {
+  kOff = 0,      ///< always-active background power (legacy behavior)
+  kTimeout = 1,  ///< controller-side idle timeouts drive PD / self-refresh
+  /// The power-gating controller coordinates channel power-down with core
+  /// gating: residency is accounted in GatingStats (src/pg/dram_coordinator.h)
+  /// and the DRAM-side timeout machinery stays off, so the two accounting
+  /// paths never overlap.
+  kCoordinated = 2,
+};
+
+/// Low-power state parameters.  All timing in core cycles; defaults are
+/// DDR3-1600 datasheet values (tCK 1.25 ns) seen from a 3 GHz core -- see the
+/// parameter table in docs/MEMORY_POWER.md for the ns-level sources.
+struct DramPowerConfig {
+  DramPowerMode mode = DramPowerMode::kOff;
+
+  Cycle t_pd = 8;    ///< CKE-low to low-power state established (tCPDED-class)
+  Cycle t_xp = 18;   ///< power-down exit to first valid command (tXP, 6 ns)
+  Cycle t_cke = 17;  ///< minimum CKE-low pulse width (tCKE(min), 5.625 ns)
+  Cycle t_xs = 510;  ///< self-refresh exit to first command (tXS ~ tRFC+10 ns)
+
+  /// Idle cycles before the timeout controller drops a channel into
+  /// precharge power-down (0 disables the state).  Only used in kTimeout.
+  Cycle powerdown_timeout = 192;
+  /// Idle cycles before the timeout controller escalates an idle channel to
+  /// self-refresh (0 disables the state).  Only used in kTimeout.
+  Cycle selfrefresh_timeout = 0;
+
+  bool enabled() const { return mode != DramPowerMode::kOff; }
+  bool valid() const {
+    if (mode == DramPowerMode::kOff) return true;
+    if (t_pd == 0 || t_xp == 0 || t_cke == 0) return false;
+    if (t_xs < t_xp) return false;
+    if (powerdown_timeout > 0 && selfrefresh_timeout > 0 &&
+        selfrefresh_timeout < powerdown_timeout)
+      return false;
+    return true;
+  }
+};
 
 /// All timing in *core* cycles.  Defaults: DDR3-1600 (tCK 1.25 ns, CL 11)
 /// seen from a 3 GHz core.
@@ -42,6 +87,8 @@ struct DramConfig {
   Cycle t_ras = 105;  ///< ACT -> earliest PRE
   Cycle t_rfc = 480;  ///< refresh duration
   Cycle t_refi = 23400;  ///< refresh interval
+
+  DramPowerConfig power{};  ///< low-power states (off by default)
 
   /// Typical no-contention latency quoted by the controller as its enqueue
   /// estimate for requests whose service time is not yet committed.
@@ -75,6 +122,24 @@ struct DramStats {
   std::uint64_t refresh_delays = 0;
   RunningStat read_latency;  ///< enqueue -> completion, reads only
 
+  // Low-power residency (channel-cycles; every accounted channel-cycle is in
+  // exactly one of the four classes, so
+  //   active + refresh + powerdown + selfrefresh == accounted
+  // is an equality -- enforced by tests/test_dram_power.cpp).  All zero when
+  // DramPowerConfig::mode != kTimeout.
+  std::uint64_t active_cycles = 0;       ///< busy, idle-shallow, entry/exit
+  std::uint64_t refresh_cycles = 0;      ///< in a refresh window (not in LP)
+  std::uint64_t powerdown_cycles = 0;    ///< precharge power-down established
+  std::uint64_t selfrefresh_cycles = 0;  ///< self-refresh established
+  std::uint64_t powerdown_entries = 0;
+  std::uint64_t selfrefresh_entries = 0;
+  std::uint64_t lowpower_exit_delay = 0;  ///< total tXP/tXS cycles imposed
+
+  std::uint64_t accounted_cycles() const {
+    return active_cycles + refresh_cycles + powerdown_cycles +
+           selfrefresh_cycles;
+  }
+
   double row_hit_rate() const {
     const std::uint64_t n = row_hits + row_closed + row_conflicts;
     return n ? static_cast<double>(row_hits) / static_cast<double>(n) : 0.0;
@@ -84,6 +149,7 @@ struct DramStats {
 class Dram {
  public:
   explicit Dram(DramConfig config);
+  ~Dram();  ///< flushes residency tallies into the obs registry
 
   /// Service one line-granular request arriving at the controller at `now`.
   /// `now` must be monotonically non-decreasing across calls.
@@ -92,6 +158,13 @@ class Dram {
   /// Earliest cycle at which the controller could accept and serve a request
   /// to an idle bank (used by tests and the controller occupancy stats).
   Cycle bank_ready(std::uint32_t channel, std::uint32_t bank) const;
+
+  /// Fold idle time up to `now` into the low-power residency counters
+  /// (kTimeout mode; a no-op otherwise).  Idempotent; call with
+  /// non-decreasing `now` before snapshotting stats so trailing idle is
+  /// classified.  Does not disturb timing state: a later access still sees
+  /// the correct power-down / self-refresh exit penalty.
+  void settle_power(Cycle now);
 
   const DramConfig& config() const { return config_; }
   const DramStats& stats() const { return stats_; }
@@ -111,9 +184,23 @@ class Dram {
   struct Channel {
     std::vector<Bank> banks;
     Cycle bus_free_at = 0;
+    // Low-power accounting (kTimeout mode only).
+    Cycle idle_from = 0;        ///< cycle the channel last went idle
+    Cycle accounted_until = 0;  ///< residency classified up to here
   };
 
   Cycle skip_refresh(Cycle start);
+  /// Refresh-window overlap with [begin, end) (closed form, same recurrence
+  /// as power/interval_energy.h::refresh_window_overlap).
+  Cycle refresh_overlap(Cycle begin, Cycle end) const;
+  /// Classify channel-cycles [ch.accounted_until, upto) into
+  /// active/refresh/powerdown/selfrefresh residency.
+  void settle_channel(Channel& ch, Cycle upto);
+  /// Settle the channel at a request arriving at `now`, close any low-power
+  /// state it is in, and return the extra delay before the first command
+  /// (tXP with the tCKE(min) hold, or tXS).  Precharge power-down closes the
+  /// channel's open rows.
+  Cycle power_exit_shift(Channel& ch, Cycle now);
 
   DramConfig config_;
   std::vector<Channel> channels_;

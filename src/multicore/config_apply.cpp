@@ -17,6 +17,9 @@ const std::set<std::string>& sim_keys() {
       "dram.channels", "dram.banks", "dram.row_bytes",
       "dram.t_rcd", "dram.t_rp", "dram.t_cl", "dram.t_bl",
       "dram.t_ras", "dram.t_rfc", "dram.t_refi",
+      "dram.power.mode", "dram.power.t_pd", "dram.power.t_xp",
+      "dram.power.t_cke", "dram.power.t_xs", "dram.power.pd_timeout",
+      "dram.power.sr_timeout",
       "prefetch.enable", "prefetch.degree", "prefetch.table",
       "prefetch.confirm",
       "tech.freq_ghz", "tech.vdd", "tech.core_leakage_w",
@@ -26,7 +29,8 @@ const std::set<std::string>& sim_keys() {
       "pg.stage_delay_ns", "pg.settle_ns", "pg.entry_ns",
       "pg.overhead_scale", "pg.light_swing", "pg.light_save",
       "pg.light_stages",
-      "dram_energy.background_w", "dram_energy.activate_nj",
+      "dram_energy.background_w", "dram_energy.powerdown_w",
+      "dram_energy.selfrefresh_w", "dram_energy.activate_nj",
       "dram_energy.read_nj", "dram_energy.write_nj",
       "dram_energy.refresh_nj",
       "thermal.enable", "thermal.ambient_c", "thermal.r_th",
@@ -49,7 +53,8 @@ void collect_unknown(const KvConfig& kv, bool with_multicore,
   static const std::set<std::string> tool_keys = {
       "config", "workload", "policy",   "csv",      "seeds", "list",
       "help",   "jobs",     "cache-dir", "no-cache", "progress", "runlog",
-      "fast-forward"};
+      "fast-forward", "dram-power", "print-metrics", "metrics-out",
+      "trace-out", "trace-buf"};
   for (const auto& [key, value] : kv.all()) {
     (void)value;
     if (key.rfind("run.", 0) == 0) continue;  // reserved for tools
@@ -107,6 +112,23 @@ void apply_platform(const KvConfig& kv, CoreConfig& core,
   mem.dram.t_rfc = kv.get_uint("dram.t_rfc", mem.dram.t_rfc);
   mem.dram.t_refi = kv.get_uint("dram.t_refi", mem.dram.t_refi);
 
+  // Low-power states (docs/MEMORY_POWER.md).  The mode is textual so config
+  // files read naturally; anything unrecognized keeps the current mode.
+  if (const auto mode = kv.get("dram.power.mode")) {
+    if (*mode == "off") mem.dram.power.mode = DramPowerMode::kOff;
+    else if (*mode == "timeout") mem.dram.power.mode = DramPowerMode::kTimeout;
+    else if (*mode == "coordinated")
+      mem.dram.power.mode = DramPowerMode::kCoordinated;
+  }
+  mem.dram.power.t_pd = kv.get_uint("dram.power.t_pd", mem.dram.power.t_pd);
+  mem.dram.power.t_xp = kv.get_uint("dram.power.t_xp", mem.dram.power.t_xp);
+  mem.dram.power.t_cke = kv.get_uint("dram.power.t_cke", mem.dram.power.t_cke);
+  mem.dram.power.t_xs = kv.get_uint("dram.power.t_xs", mem.dram.power.t_xs);
+  mem.dram.power.powerdown_timeout = kv.get_uint(
+      "dram.power.pd_timeout", mem.dram.power.powerdown_timeout);
+  mem.dram.power.selfrefresh_timeout = kv.get_uint(
+      "dram.power.sr_timeout", mem.dram.power.selfrefresh_timeout);
+
   mem.prefetch.enable = kv.get_bool("prefetch.enable", mem.prefetch.enable);
   mem.prefetch.degree = static_cast<std::uint32_t>(
       kv.get_uint("prefetch.degree", mem.prefetch.degree));
@@ -143,6 +165,10 @@ void apply_platform(const KvConfig& kv, CoreConfig& core,
 
   de.background_w_per_channel =
       kv.get_double("dram_energy.background_w", de.background_w_per_channel);
+  de.powerdown_w_per_channel =
+      kv.get_double("dram_energy.powerdown_w", de.powerdown_w_per_channel);
+  de.selfrefresh_w_per_channel = kv.get_double(
+      "dram_energy.selfrefresh_w", de.selfrefresh_w_per_channel);
   de.activate_nj = kv.get_double("dram_energy.activate_nj", de.activate_nj);
   de.read_nj = kv.get_double("dram_energy.read_nj", de.read_nj);
   de.write_nj = kv.get_double("dram_energy.write_nj", de.write_nj);

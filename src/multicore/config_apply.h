@@ -16,6 +16,9 @@
 //   dram.channels (2), dram.banks (8), dram.row_bytes (8192),
 //   dram.t_rcd (41), dram.t_rp (41), dram.t_cl (41), dram.t_bl (15),
 //   dram.t_ras (105), dram.t_rfc (480), dram.t_refi (23400)
+//   dram.power.mode (off | timeout | coordinated), dram.power.t_pd (8),
+//   dram.power.t_xp (18), dram.power.t_cke (17), dram.power.t_xs (510),
+//   dram.power.pd_timeout (192), dram.power.sr_timeout (0)
 //   prefetch.enable (0), prefetch.degree (2), prefetch.table (16),
 //   prefetch.confirm (1)
 //   tech.freq_ghz (3.0), tech.vdd (1.0), tech.core_leakage_w (0.5),
@@ -26,7 +29,8 @@
 //   pg.stages (8), pg.stage_delay_ns (1), pg.settle_ns (2), pg.entry_ns (2),
 //   pg.overhead_scale (1), pg.light_swing (0.25), pg.light_save (0.55),
 //   pg.light_stages (2)
-//   dram_energy.background_w (0.35), dram_energy.activate_nj (12),
+//   dram_energy.background_w (0.35), dram_energy.powerdown_w (0.12),
+//   dram_energy.selfrefresh_w (0.045), dram_energy.activate_nj (12),
 //   dram_energy.read_nj (10), dram_energy.write_nj (11),
 //   dram_energy.refresh_nj (110)
 //   thermal.enable (0), thermal.ambient_c (70), thermal.r_th (30),

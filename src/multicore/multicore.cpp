@@ -57,6 +57,12 @@ MulticoreResult MulticoreSim::run(
   kparams.t_rfc = config_.mem.dram.t_rfc;
   kparams.rates = StallEnergyRates::make(
       config_.tech, circuit, config_.dram_energy, config_.mem.dram.channels);
+  // kparams.dram_pd stays disabled: coordinated CPU–DRAM gating
+  // (DramPowerMode::kCoordinated) assumes the gating core is the only
+  // traffic source, which does not hold for a shared DRAM — another core
+  // may hit a channel this core's closed form counted as parked.  Timeout
+  // mode (kTimeout) needs no coordination and works here unchanged; a
+  // "-dram" policy suffix is accepted but has no effect in multicore.
 
   Cache shared_l2(config_.mem.l2);
   Dram shared_dram(config_.mem.dram);
@@ -109,7 +115,9 @@ MulticoreResult MulticoreSim::run(
     if (++warmed_count == config_.num_cores) {
       // Shared statistics reset once, when the last core exits warmup (an
       // aggregate approximation: earlier cores' first measured requests are
-      // not in the shared counters).
+      // not in the shared counters).  Warmup idle is classified into the
+      // power-residency counters first so the reset discards it cleanly.
+      shared_dram.settle_power(s.core->now());
       shared_l2.reset_stats();
       shared_dram.reset_stats();
       arbiter.reset_stats();
@@ -146,6 +154,12 @@ MulticoreResult MulticoreSim::run(
   MulticoreResult result;
   result.policy = slots.front().policy->name();
   result.shared_l2 = shared_l2.stats();
+  // Classify the trailing idle up to the latest core clock before the
+  // snapshot, so timeout-mode residency covers the whole shared window.
+  Cycle global_end = 0;
+  for (const auto& s : slots)
+    global_end = std::max(global_end, s.core->now());
+  shared_dram.settle_power(global_end);
   result.dram = shared_dram.stats();
 
   // Per-core energy uses a tech variant with the shared components zeroed,

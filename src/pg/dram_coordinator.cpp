@@ -1,0 +1,20 @@
+#include "pg/dram_coordinator.h"
+
+namespace mapg {
+
+PdWindow coordinated_pd_window(const DramCoordinationParams& params,
+                               Cycle gate_start, Cycle data_ready) {
+  PdWindow w;
+  if (!params.enabled || params.idle_channels == 0) return w;
+  // Entry ramp + minimum residency + hidden exit ramp must all fit before
+  // the scheduled data return; otherwise the channels stay active.  (This
+  // also guarantees the subtractions below cannot underflow.)
+  if (gate_start + params.t_pd + params.t_cke + params.t_xp > data_ready)
+    return w;
+  w.eligible = true;
+  w.established = gate_start + params.t_pd;
+  w.exit_initiate = data_ready - params.t_xp;
+  return w;
+}
+
+}  // namespace mapg

@@ -1,0 +1,93 @@
+// Coordinated CPU–DRAM gating (docs/MEMORY_POWER.md §5).
+//
+// MAPG's controller knows, for every gated stall, both when the core went to
+// sleep and the exact (or committed) cycle the blocking data returns.  That
+// same notice window is exactly what a DRAM low-power controller lacks: a
+// timeout policy must burn `powerdown_timeout` idle cycles before dropping
+// CKE, and then eats tXP on the next request.  Here the gating decision
+// doubles as the channel power-down command — the idle (non-serving)
+// channels drop CKE when core entry begins and are woken tXP ahead of the
+// scheduled data return, so the exit is hidden and the residency starts a
+// full timeout earlier than any reactive scheme.  This is the crossover the
+// R-Tab.8 experiment measures.
+//
+// The model is deliberately kernel-friendly: given the gate decision and the
+// stall event, the power-down window is a pure closed form
+// (coordinated_pd_window), evaluated in one step by the fast-forward kernel
+// and one cycle at a time by the stepped reference — the differential suite
+// holds the two bit-identical.  Residency lands in
+// GatingStats::dram_pd_channel_cycles, never in DramStats, so it can never
+// double-count against the DRAM-side timeout machinery (which is off in
+// kCoordinated mode; see mem/dram.h).
+//
+// Scope: single-core only.  With shared DRAM, no per-core controller can
+// guarantee a channel stays idle for the window, so src/multicore keeps
+// coordination disabled and uses the timeout machinery instead.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "pg/policy.h"
+
+namespace mapg {
+
+/// Static inputs of the coordination closed form (derived from
+/// DramPowerConfig by core/sim.cpp::make_kernel_params).
+struct DramCoordinationParams {
+  bool enabled = false;  ///< DramPowerMode::kCoordinated selected
+  Cycle t_pd = 0;        ///< CKE-low to power-down established
+  Cycle t_xp = 0;        ///< exit ramp hidden before the data return
+  Cycle t_cke = 0;       ///< minimum CKE-low residency
+  /// Channels that can park during a stall: all but the one serving the
+  /// blocking request (channels - 1).
+  std::uint32_t idle_channels = 0;
+};
+
+/// The power-down window one gated stall earns the idle channels.
+struct PdWindow {
+  bool eligible = false;
+  Cycle established = 0;    ///< gate_start + t_pd
+  Cycle exit_initiate = 0;  ///< data_ready - t_xp (exit fully hidden)
+
+  /// Residency per parked channel (core cycles); eligible implies >= t_cke.
+  Cycle per_channel_cycles() const {
+    return eligible ? exit_initiate - established : 0;
+  }
+};
+
+/// Closed form of the coordinated window: the idle channels drop CKE at
+/// `gate_start`, are established after t_pd, must hold CKE low for t_cke,
+/// and must complete the tXP exit ramp by `data_ready`.  Not eligible when
+/// that chain does not fit inside the stall.
+PdWindow coordinated_pd_window(const DramCoordinationParams& params,
+                               Cycle gate_start, Cycle data_ready);
+
+/// Decorator that opts any policy into coordinated CPU–DRAM gating.  All
+/// decisions are forwarded to the inner policy unchanged — coordination
+/// alters no core timing, only DRAM channel residency — so "mapg-dram"
+/// gates exactly like "mapg".  Produced by the "-dram" suffix in
+/// pg/factory.cpp.
+class DramCoordinatedPolicy final : public PgPolicy {
+ public:
+  explicit DramCoordinatedPolicy(std::unique_ptr<PgPolicy> inner)
+      : PgPolicy(inner->context()), inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name() + "-dram"; }
+  bool should_gate(const StallEvent& ev) override {
+    return inner_->should_gate(ev);
+  }
+  WakeMode wake_mode() const override { return inner_->wake_mode(); }
+  Cycle gate_delay() const override { return inner_->gate_delay(); }
+  SleepMode sleep_mode(const StallEvent& ev) override {
+    return inner_->sleep_mode(ev);
+  }
+  void observe(const StallEvent& ev) override { inner_->observe(ev); }
+  bool coordinate_dram() const override { return true; }
+
+ private:
+  std::unique_ptr<PgPolicy> inner_;
+};
+
+}  // namespace mapg

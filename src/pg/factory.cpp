@@ -1,8 +1,10 @@
 #include "pg/factory.h"
 
 #include <cstdlib>
+#include <string_view>
 
 #include "pg/adaptive.h"
+#include "pg/dram_coordinator.h"
 #include "pg/multimode.h"
 
 namespace mapg {
@@ -20,6 +22,25 @@ double spec_param(const std::string& spec, const std::string& key,
 
 std::unique_ptr<PgPolicy> make_policy(const std::string& spec,
                                       const PolicyContext& ctx) {
+  // A "-dram" suffix on the policy name opts it into coordinated CPU–DRAM
+  // gating (pg/dram_coordinator.h): "mapg-dram", "oracle-dram",
+  // "mapg-history-dram:ewma=0.2", ...  Checked first because several base
+  // names are matched by prefix below.
+  {
+    const auto colon = spec.find(':');
+    const std::string name = spec.substr(0, colon);
+    constexpr std::string_view kSuffix = "-dram";
+    if (name.size() > kSuffix.size() &&
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) ==
+            0) {
+      std::string inner = name.substr(0, name.size() - kSuffix.size());
+      if (colon != std::string::npos) inner += spec.substr(colon);
+      auto wrapped = make_policy(inner, ctx);
+      if (wrapped == nullptr) return nullptr;
+      return std::make_unique<DramCoordinatedPolicy>(std::move(wrapped));
+    }
+  }
+
   if (spec == "none" || spec == "no-gating")
     return std::make_unique<NoGatingPolicy>(ctx);
 

@@ -11,6 +11,10 @@
 //   "mapg-hybrid[:ewma=<f>]"    estimate AND history must agree
 //   "mapg-multimode"            per-stall light/deep sleep selection
 //   "idle-timeout-early:<N>"    timeout entry + MC-initiated wakeup
+//   "<spec>-dram"               any of the above + coordinated CPU–DRAM
+//                               gating: idle channels park in power-down
+//                               during gated stalls (pg/dram_coordinator.h;
+//                               needs DramPowerMode::kCoordinated)
 #pragma once
 
 #include <memory>

@@ -26,6 +26,10 @@ PgController::~PgController() {
         .inc(obs_windows_);
   if (obs_refresh_windows_ > 0)
     reg.counter("sim.stall.refresh_windows").inc(obs_refresh_windows_);
+  if (obs_dram_pd_windows_ > 0) {
+    reg.counter("sim.dram.coordinated_pd_windows").inc(obs_dram_pd_windows_);
+    reg.counter("sim.dram.coordinated_pd_cycles").inc(obs_dram_pd_cycles_);
+  }
 #endif
 }
 
@@ -67,6 +71,13 @@ Cycle PgController::on_stall(const StallEvent& ev) {
       ++stats_.aborted_entries;
     if (out.gated_cycles < circuit_.break_even_cycles(out.mode))
       ++stats_.unprofitable_events;
+  }
+
+  if (out.dram_pd_cycles > 0) {
+    ++stats_.dram_pd_windows;
+    stats_.dram_pd_channel_cycles += out.dram_pd_cycles;
+    MAPG_OBS_ONLY(++obs_dram_pd_windows_;
+                  obs_dram_pd_cycles_ += out.dram_pd_cycles;)
   }
 
   stats_.idle_ungated_cycles += out.idle_ungated_cycles;

@@ -53,6 +53,12 @@ struct GatingStats {
   /// every t_refi); counted closed-form by the fast kernel, per-cycle by the
   /// reference.  0 when refresh metering is not configured.
   std::uint64_t refresh_window_cycles = 0;
+  /// Coordinated CPU–DRAM gating (pg/dram_coordinator.h): DRAM channel-
+  /// cycles parked in power-down under gated stalls, and the gated windows
+  /// that earned any.  Mutually exclusive with DramStats' timeout-driven
+  /// residency counters, so energy accounting sums both without overlap.
+  std::uint64_t dram_pd_channel_cycles = 0;
+  std::uint64_t dram_pd_windows = 0;
   Histogram gated_len_hist{0.0, 1024.0, 64};
 
   double gate_rate() const {
@@ -116,6 +122,8 @@ class PgController final : public StallHandler {
   /// destructor — keeps the per-stall path free of atomics and TLS lookups.
   std::uint64_t obs_windows_ = 0;
   std::uint64_t obs_refresh_windows_ = 0;
+  std::uint64_t obs_dram_pd_windows_ = 0;
+  std::uint64_t obs_dram_pd_cycles_ = 0;
 #endif
 };
 

@@ -77,6 +77,13 @@ class PgPolicy {
   /// controller timestamps stall onset and the wake/data-arrival event, so
   /// the true length is observable even while gated.)
   virtual void observe(const StallEvent& /*ev*/) {}
+  /// True when the policy opts into coordinated CPU–DRAM gating: while the
+  /// core is gated for a stall, idle DRAM channels are parked in precharge
+  /// power-down and woken hidden under the known data-return cycle.  Takes
+  /// effect only when the platform enables DramPowerMode::kCoordinated —
+  /// see pg/dram_coordinator.h.  Policies gain it via the "-dram" spec
+  /// suffix (pg/factory.h), which wraps them in DramCoordinatedPolicy.
+  virtual bool coordinate_dram() const { return false; }
 
   const PolicyContext& context() const { return ctx_; }
 

@@ -67,6 +67,16 @@ StallWindowOutcome resolve_stall_fast(PgPolicy& policy,
     out.idle_ungated_cycles = decision.gate_start - ev.start;
   }
 
+  // Coordinated CPU–DRAM gating: a gated stall parks the idle channels in
+  // power-down for the closed-form window (pg/dram_coordinator.h).
+  if (out.gated && params.dram_pd.enabled && policy.coordinate_dram()) {
+    const PdWindow w = coordinated_pd_window(
+        params.dram_pd, decision.gate_start, ev.data_ready);
+    out.dram_pd_cycles =
+        static_cast<std::uint64_t>(w.per_channel_cycles()) *
+        params.dram_pd.idle_channels;
+  }
+
   out.refresh_overlap_cycles = refresh_window_overlap(
       ev.start, out.resume, params.t_refi, params.t_rfc);
   out.window_energy_j = stall_window_energy_j(
@@ -74,6 +84,7 @@ StallWindowOutcome resolve_stall_fast(PgPolicy& policy,
                                      .entry = out.entry_cycles,
                                      .gated = out.gated_cycles,
                                      .wake = out.wake_cycles,
+                                     .dram_pd = out.dram_pd_cycles,
                                      .mode = out.mode});
   return out;
 }
@@ -239,6 +250,44 @@ class SteppedStallKernel::PhaseFsm final : public ClockedComponent {
   Cycle grant_ = 0;
 };
 
+/// Meters coordinated DRAM power-down residency one cycle at a time — the
+/// brute-force evaluation of coordinated_pd_window().  The window bounds are
+/// precomputed at reset (they are a pure function of the decision and the
+/// event, exactly what the closed form consumes), but membership is decided
+/// per cycle so the stepped kernel never skips time.
+class SteppedStallKernel::PowerDownMeter final : public ClockedComponent {
+ public:
+  PowerDownMeter(const PhaseFsm& fsm, const PgPolicy& policy,
+                 const DramCoordinationParams& params,
+                 const StallEnergyRates& rates)
+      : fsm_(fsm), policy_(policy), params_(params), rates_(rates) {}
+
+  void reset(const StallEvent& ev, const GateDecision& decision,
+             StallWindowOutcome* out) {
+    out_ = out;
+    window_ = PdWindow{};
+    if (decision.gate && params_.enabled && policy_.coordinate_dram())
+      window_ = coordinated_pd_window(params_, decision.gate_start,
+                                      ev.data_ready);
+  }
+
+  void tick(Cycle t) override {
+    if (!window_.eligible) return;
+    if (fsm_.ticked_phase() == Phase::kResolved) return;
+    if (t < window_.established || t >= window_.exit_initiate) return;
+    out_->dram_pd_cycles += params_.idle_channels;
+    out_->window_energy_j -= rates_.dram_pd_saved_j * params_.idle_channels;
+  }
+
+ private:
+  const PhaseFsm& fsm_;
+  const PgPolicy& policy_;
+  DramCoordinationParams params_;
+  StallEnergyRates rates_;
+  StallWindowOutcome* out_ = nullptr;
+  PdWindow window_{};
+};
+
 /// Counts window cycles that overlap a DRAM refresh window, by per-cycle
 /// modulo — the brute-force evaluation of refresh_busy_cycles().
 class SteppedStallKernel::RefreshMeter final : public ClockedComponent {
@@ -301,11 +350,14 @@ SteppedStallKernel::SteppedStallKernel(PgPolicy& policy,
                                        WakeArbiter* arbiter,
                                        const StallKernelParams& params)
     : fsm_(std::make_unique<PhaseFsm>(policy, circuit, arbiter)),
+      powerdown_(std::make_unique<PowerDownMeter>(*fsm_, policy,
+                                                  params.dram_pd,
+                                                  params.rates)),
       refresh_(
           std::make_unique<RefreshMeter>(*fsm_, params.t_refi, params.t_rfc)),
       energy_(std::make_unique<EnergyMeter>(*fsm_, params.rates)) {
   // FSM first: the meters classify cycle t by the phase it just recorded.
-  components_ = {fsm_.get(), refresh_.get(), energy_.get()};
+  components_ = {fsm_.get(), powerdown_.get(), refresh_.get(), energy_.get()};
 }
 
 SteppedStallKernel::~SteppedStallKernel() = default;
@@ -314,6 +366,7 @@ StallWindowOutcome SteppedStallKernel::resolve(const StallEvent& ev,
                                                const GateDecision& decision) {
   StallWindowOutcome out;
   fsm_->reset(ev, decision, &out);
+  powerdown_->reset(ev, decision, &out);
   refresh_->reset(&out);
   energy_->reset(&out);
   for (Cycle t = ev.start; !fsm_->resolved(); ++t)

@@ -26,6 +26,7 @@
 
 #include "common/types.h"
 #include "cpu/core.h"
+#include "pg/dram_coordinator.h"
 #include "pg/policy.h"
 #include "pg/wake_arbiter.h"
 #include "power/interval_energy.h"
@@ -53,6 +54,10 @@ struct StallWindowOutcome {
   std::uint64_t wake_cycles = 0;
   std::uint64_t idle_ungated_cycles = 0;   ///< stalled, clock on, not gating
   std::uint64_t refresh_overlap_cycles = 0;  ///< window cycles inside t_rfc
+  /// DRAM channel-cycles parked in coordinated power-down during this window
+  /// (pg/dram_coordinator.h); 0 unless coordination is enabled, the policy
+  /// opted in, and the window was eligible.
+  std::uint64_t dram_pd_cycles = 0;
   double window_energy_j = 0;  ///< stall-window energy (cross-check only)
 };
 
@@ -62,6 +67,10 @@ struct StallKernelParams {
   Cycle t_refi = 0;  ///< DRAM refresh interval; 0 disables overlap metering
   Cycle t_rfc = 0;
   StallEnergyRates rates{};  ///< all-zero disables the energy cross-check
+  /// Coordinated CPU–DRAM gating inputs; disabled unless the platform runs
+  /// DramPowerMode::kCoordinated (and then only policies with
+  /// coordinate_dram() actually park channels).
+  DramCoordinationParams dram_pd{};
 };
 
 /// Closed-form resolution.  This is the production path; its arithmetic is
@@ -96,10 +105,12 @@ class SteppedStallKernel {
 
  private:
   class PhaseFsm;
+  class PowerDownMeter;
   class RefreshMeter;
   class EnergyMeter;
 
   std::unique_ptr<PhaseFsm> fsm_;
+  std::unique_ptr<PowerDownMeter> powerdown_;
   std::unique_ptr<RefreshMeter> refresh_;
   std::unique_ptr<EnergyMeter> energy_;
   std::vector<ClockedComponent*> components_;

@@ -1,35 +1,62 @@
 #include "power/dram_energy.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace mapg {
 
-double compute_dram_energy_j(const DramStats& stats, const DramConfig& config,
-                             const TechParams& tech,
-                             const DramEnergyParams& params, Cycle duration) {
+DramEnergyBreakdown compute_dram_energy_breakdown(
+    const DramStats& stats, const DramConfig& config, const TechParams& tech,
+    const DramEnergyParams& params, Cycle duration,
+    std::uint64_t coordinated_pd_channel_cycles) {
   assert(params.valid());
   const double seconds =
       tech.cycles_to_seconds(static_cast<double>(duration));
 
-  const double background_j =
+  DramEnergyBreakdown b;
+  b.background_j =
       params.background_w_per_channel * config.channels * seconds;
+
+  // Low-power residency reduces the background term: each channel-cycle in
+  // power-down (timeout-driven or gating-coordinated) or self-refresh burns
+  // the state's power instead of the active background power.
+  const double pd_s = tech.cycles_to_seconds(static_cast<double>(
+      stats.powerdown_cycles + coordinated_pd_channel_cycles));
+  const double sr_s =
+      tech.cycles_to_seconds(static_cast<double>(stats.selfrefresh_cycles));
+  b.lowpower_saved_j =
+      (params.background_w_per_channel - params.powerdown_w_per_channel) *
+          pd_s +
+      (params.background_w_per_channel - params.selfrefresh_w_per_channel) *
+          sr_s;
 
   const double activations =
       static_cast<double>(stats.row_closed + stats.row_conflicts);
-  const double events_j =
-      (activations * params.activate_nj +
-       static_cast<double>(stats.reads) * params.read_nj +
-       static_cast<double>(stats.writes) * params.write_nj) *
-      1e-9;
+  b.events_j = (activations * params.activate_nj +
+                static_cast<double>(stats.reads) * params.read_nj +
+                static_cast<double>(stats.writes) * params.write_nj) *
+               1e-9;
 
-  double refresh_j = 0;
   if (config.t_refi > 0) {
-    const double refreshes =
-        static_cast<double>(duration) / static_cast<double>(config.t_refi) *
-        config.channels;
-    refresh_j = refreshes * params.refresh_nj * 1e-9;
+    // Channel-cycles spent in self-refresh need no controller refresh: the
+    // device refreshes itself (its energy is inside selfrefresh_w).
+    const double refreshes = std::max(
+        0.0, static_cast<double>(duration) /
+                     static_cast<double>(config.t_refi) * config.channels -
+                 static_cast<double>(stats.selfrefresh_cycles) /
+                     static_cast<double>(config.t_refi));
+    b.refresh_j = refreshes * params.refresh_nj * 1e-9;
   }
-  return background_j + events_j + refresh_j;
+  return b;
+}
+
+double compute_dram_energy_j(const DramStats& stats, const DramConfig& config,
+                             const TechParams& tech,
+                             const DramEnergyParams& params, Cycle duration,
+                             std::uint64_t coordinated_pd_channel_cycles) {
+  return compute_dram_energy_breakdown(stats, config, tech, params, duration,
+                                       coordinated_pd_channel_cycles)
+      .total_j();
 }
 
 }  // namespace mapg

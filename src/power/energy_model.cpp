@@ -80,7 +80,9 @@ std::string energy_to_string(const EnergyBreakdown& e) {
      << "  ungated leak " << mj(e.ungated_leak_j) << "\n"
      << "  idle clock   " << mj(e.idle_clock_j) << "\n"
      << "  pg overhead  " << mj(e.pg_overhead_j) << "\n"
-     << "  dram         " << mj(e.dram_j) << "\n"
+     << "  dram         " << mj(e.dram_j) << " (background "
+     << mj(e.dram_background_j) << ", low-power saved "
+     << mj(e.dram_lowpower_saved_j) << ")\n"
      << "  TOTAL        " << mj(e.total_j()) << "\n";
   return os.str();
 }

@@ -54,6 +54,11 @@ struct EnergyBreakdown {
   /// Off-chip DRAM energy (filled by the Simulator from dram_energy.h;
   /// compute_energy itself leaves it zero).
   double dram_j = 0;
+  /// Split of dram_j's background component (informational — dram_j stays
+  /// the charged total): what always-active background power would have
+  /// cost, and how much of it power-down / self-refresh residency removed.
+  double dram_background_j = 0;
+  double dram_lowpower_saved_j = 0;
 
   double total_j() const {
     return dynamic_j + core_leak_j + ungated_leak_j + idle_clock_j +

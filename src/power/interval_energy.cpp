@@ -15,6 +15,9 @@ StallEnergyRates StallEnergyRates::make(const TechParams& tech,
   r.idle_clock_j = tech.idle_clock_w * sec;
   r.dram_background_j = dram_energy.background_w_per_channel *
                         static_cast<double>(dram_channels) * sec;
+  r.dram_pd_saved_j = (dram_energy.background_w_per_channel -
+                       dram_energy.powerdown_w_per_channel) *
+                      sec;
   return r;
 }
 
@@ -23,7 +26,8 @@ double stall_window_energy_j(const StallEnergyRates& rates,
   return (rates.leak_j + rates.dram_background_j) *
              static_cast<double>(phases.window()) +
          rates.idle_clock_j * static_cast<double>(phases.idle_ungated) -
-         rates.saved_j(phases.mode) * static_cast<double>(phases.gated);
+         rates.saved_j(phases.mode) * static_cast<double>(phases.gated) -
+         rates.dram_pd_saved_j * static_cast<double>(phases.dram_pd);
 }
 
 double interval_core_energy_j(const TechParams& tech, const PgCircuit& pg,

@@ -52,6 +52,9 @@ struct StallEnergyRates {
   double light_saved_j = 0;  ///< leakage removed per light-gated cycle
   double idle_clock_j = 0;   ///< residual clocking while idle and ungated
   double dram_background_j = 0;  ///< DRAM background power, all channels
+  /// Background power removed per channel-cycle of coordinated DRAM
+  /// power-down (background minus the IDD2P-class power-down power).
+  double dram_pd_saved_j = 0;
 
   double saved_j(SleepMode mode) const {
     return mode == SleepMode::kDeep ? deep_saved_j : light_saved_j;
@@ -69,6 +72,10 @@ struct StallPhaseCycles {
   std::uint64_t entry = 0;
   std::uint64_t gated = 0;
   std::uint64_t wake = 0;
+  /// DRAM channel-cycles parked in power-down by the coordinator during this
+  /// window (not part of the window() identity: channel-cycles, not core
+  /// cycles).
+  std::uint64_t dram_pd = 0;
   SleepMode mode = SleepMode::kDeep;  ///< meaningful when gated > 0
 
   std::uint64_t window() const { return idle_ungated + entry + gated + wake; }

@@ -4,6 +4,13 @@
 // substitution for the paper's foundry characterization (DESIGN.md §3).
 // Every energy number in the repository derives from this struct, so
 // sensitivity studies (R-Fig.5) scale these fields rather than hard-coding.
+//
+// The off-chip side has its own parameter struct: DRAM per-event energies
+// and per-state background powers (active / precharge power-down /
+// self-refresh) live in power/dram_energy.h::DramEnergyParams, with the
+// DDR3 datasheet derivation in docs/MEMORY_POWER.md.  The two structs meet
+// in StallEnergyRates::make (power/interval_energy.h), which converts both
+// to per-core-cycle joule rates using this struct's clock.
 #pragma once
 
 #include <array>

@@ -111,6 +111,21 @@ TEST(KernelDifferential, ConfigCorners) {
   SimConfig no_warmup = diff_config(7);
   no_warmup.warmup_instructions = 0;
   expect_identical(no_warmup, *p, "idle-timeout:16");
+
+  // DRAM low-power states (docs/MEMORY_POWER.md).  Timeout mode perturbs
+  // DRAM timing (exit shifts) identically for both kernels; coordinated
+  // mode exercises the PowerDownMeter against the closed form — including
+  // the PG-side dram_pd counters and the window-energy PD term.
+  SimConfig dram_timeout = diff_config(42);
+  dram_timeout.mem.dram.power.mode = DramPowerMode::kTimeout;
+  dram_timeout.mem.dram.power.selfrefresh_timeout = 20'000;
+  expect_identical(dram_timeout, *p, "mapg");
+
+  SimConfig dram_coord = diff_config(42);
+  dram_coord.mem.dram.power.mode = DramPowerMode::kCoordinated;
+  expect_identical(dram_coord, *p, "mapg-dram");
+  expect_identical(dram_coord, *p, "oracle-dram");
+  expect_identical(dram_coord, *p, "idle-timeout-early-dram:64");
 }
 
 // Multicore: shared L2/DRAM contention plus the wake arbiter.  The stepped

@@ -202,6 +202,34 @@ TEST(Dram, StatsClassifyOutcomes) {
   EXPECT_EQ(d.stats().read_latency.count(), 3u);
 }
 
+TEST(Dram, SelfRefreshExitHonorsPendingRefreshWindow) {
+  // Regression pin: the refresh check runs at the power-exit-shifted start,
+  // not the raw arrival cycle.  A request that wakes a self-refreshing
+  // channel such that the tXS exit lands inside a refresh window must pay
+  // the remainder of that window on top of tXS (the device still owes its
+  // deferred auto-refresh); the old "refresh checked at request start only"
+  // semantics silently skipped it.
+  DramConfig cfg = test_config();
+  cfg.power.mode = DramPowerMode::kTimeout;
+  cfg.power.powerdown_timeout = 0;
+  cfg.power.selfrefresh_timeout = 1000;
+  ASSERT_TRUE(cfg.valid());
+  Dram d(cfg);
+
+  // Idle since 0: self-refresh established at 1000 + tPD.  Arrive 100
+  // cycles before the second refresh window so now + tXS = 23710 lands
+  // inside [23400, 23880).
+  const Cycle now = cfg.t_refi - 200;
+  ASSERT_LT(now + cfg.power.t_xs, cfg.t_refi + cfg.t_rfc);
+  ASSERT_GE(now + cfg.power.t_xs, cfg.t_refi);
+  const DramResult r = d.access(make_line(cfg, 0, 0, 0), false, now);
+  EXPECT_EQ(r.completion,
+            cfg.t_refi + cfg.t_rfc + cfg.t_rcd + cfg.t_cl + cfg.t_bl);
+  EXPECT_EQ(d.stats().refresh_delays, 1u);
+  EXPECT_EQ(d.stats().selfrefresh_entries, 1u);
+  EXPECT_EQ(d.stats().lowpower_exit_delay, cfg.power.t_xs);
+}
+
 TEST(Dram, WriteOccupiesBankForLaterReads) {
   const DramConfig cfg = test_config();
   Dram d(cfg);

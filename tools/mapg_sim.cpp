@@ -60,6 +60,9 @@ int usage() {
       "  --cores=N                       run the multicore simulator\n"
       "  --seeds=N                       replicate over N trace seeds\n"
       "  --thermal.enable=1              leakage-temperature feedback mode\n"
+      "  --dram-power=off|timeout|coordinated\n"
+      "                                  DRAM low-power states (alias for\n"
+      "                                  dram.power.mode; docs/MEMORY_POWER.md)\n"
       "  --instructions=N --warmup=N --seed=N\n"
       "  --jobs=N                        worker threads (default: all cores)\n"
       "  --cache-dir=DIR                 persistent result cache\n"
@@ -84,6 +87,8 @@ void list_everything() {
                "  mapg-aggressive | mapg-noearly | mapg-unfiltered\n"
                "  mapg-history[:ewma=<f>] | mapg-hybrid[:ewma=<f>]\n"
                "  mapg-multimode | idle-timeout-early:<N>\n"
+               "  <spec>-dram = coordinated CPU-DRAM gating decorator\n"
+               "                (requires --dram-power=coordinated)\n"
                "  std = standard comparison set, abl = ablation set\n";
 }
 
@@ -246,6 +251,11 @@ int main(int argc, char** argv) {
     std::cerr << "unrecognized argument '" << word << "'\n";
     return usage();
   }
+
+  // Convenience alias shared with the benches: --dram-power=MODE is
+  // shorthand for --dram.power.mode=MODE.
+  if (auto mode = kv.get("dram-power"))
+    if (!kv.contains("dram.power.mode")) kv.set("dram.power.mode", *mode);
 
   const std::string trace_out = kv.get_or("trace-out", "");
   if (!trace_out.empty()) obs::EventTracer::instance().start();
