@@ -36,6 +36,7 @@ BenchEnv parse_env(int argc, char** argv, std::uint64_t default_instructions,
     if (word == "--no-cache") env.exec.use_disk_cache = false;
   env.exec.progress = cfg.get_bool("progress", false);
   env.exec.log_jsonl = cfg.get_or("runlog", "");
+  env.exec.use_replay = cfg.get_bool("replay", true);
 
   // --- Observability flags (docs/OBSERVABILITY.md) ---
   env.metrics_out = cfg.get_or("metrics-out", "");
@@ -70,9 +71,13 @@ void report_engine(const BenchEnv& env) {
   const EngineStats s = env.engine->stats();
   const CacheStatsSnapshot c = env.engine->cache().stats();
   std::fprintf(stderr,
-               "[exec] %llu simulated, %llu cached (mem %llu / disk %llu), "
+               "[exec] %llu simulated, %llu replayed (%llu timelines, "
+               "%llu fallbacks), %llu cached (mem %llu / disk %llu), "
                "%llu failed, %.0f ms sim time across %u worker(s)\n",
                static_cast<unsigned long long>(s.jobs_run),
+               static_cast<unsigned long long>(s.jobs_replayed),
+               static_cast<unsigned long long>(s.timelines_recorded),
+               static_cast<unsigned long long>(s.replay_fallbacks),
                static_cast<unsigned long long>(s.jobs_cached),
                static_cast<unsigned long long>(c.memory_hits),
                static_cast<unsigned long long>(c.disk_hits),

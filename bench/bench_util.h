@@ -21,6 +21,10 @@
 //   --no-cache         ignore the disk cache for this run
 //   --progress=1       live jobs/sec meter on stderr
 //   --runlog=FILE      append per-job JSONL telemetry to FILE
+//   --replay=0         disable single-pass policy-sweep replay (src/replay);
+//                      every cell then simulates directly.  Results are
+//                      bit-identical either way (bench/micro_replay_speedup
+//                      verifies, tests/test_replay.cpp proves)
 // Observability flags (see docs/OBSERVABILITY.md):
 //   --metrics-out=FILE write the end-of-run metrics snapshot as JSON
 //   --trace-out=FILE   record a Chrome trace (open in Perfetto or

@@ -1,0 +1,242 @@
+// Single-pass policy-sweep speedup: record-once/replay-per-policy
+// (src/replay, docs/MODEL.md §4b) vs direct per-cell simulation, on an
+// R-Tab.1-shaped grid — every builtin workload crossed with an 11-policy
+// axis.
+//
+// The replay path records one `none` reference timeline per workload and
+// reconstitutes every penalty-free policy cell from it; cells whose replay
+// hits a penalized window fall back to a direct simulation over the shared
+// trace buffer (still skipping trace generation).  The headline ratio is
+// therefore sweep wall-clock, not per-cell throughput, and it is bounded by
+//   P / (1 + F * c_fb)
+// for P policies of which F are penalized (c_fb = fallback cost relative to
+// a direct cell, ~0.9).  Wake-exact policies (oracle + the MAPG early-wake
+// family, any alpha) replay; reactive-wake and threshold-free policies are
+// genuinely penalized and must re-simulate — that is a property of the
+// policies, not an engine limitation (docs/MODEL.md §4b).
+//
+// Two axes, both 12 x 11:
+//   --axis=tab1      (default) the R-Tab.1 comparison extended with the
+//                    alpha-sensitivity variants the fig5/tab2 sweeps run;
+//                    F = 2 (idle-timeout, mapg-aggressive), target >= 3x.
+//   --axis=ablation  factory ablation_policy_specs(); F = 5, so the exact
+//                    bound caps near 2x — reported for the census, no 3x
+//                    claim is possible there.
+//
+// The bench first proves the bit-identity contract on the UNION of both
+// axes — every cell of the replayed sweep must serialize identically to
+// the direct sweep — and exits nonzero on mismatch.  A speedup claim for a
+// diverging engine would be meaningless.
+//
+// Usage: micro_replay_speedup [--instructions=N] [--warmup=N] [--seed=N]
+//                             [--jobs=N] [--reps=K] [--axis=tab1|ablation]
+//                             [--smoke=1] [--json=FILE]
+//   --smoke=1   identity check only, at a tiny instruction count (CI mode)
+//   --json=FILE machine-readable result record (scripts/bench_report.sh)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/config.h"
+#include "exec/json.h"
+#include "exec/serialize.h"
+#include "pg/factory.h"
+#include "trace/profile.h"
+
+namespace {
+
+using namespace mapg;
+
+/// R-Tab.1's headline comparison extended with the alpha-sensitivity
+/// variants (the axis fig5/tab2-style sweeps exercise): 11 policies, of
+/// which only idle-timeout:64 and mapg-aggressive are penalized.
+std::vector<std::string> tab1_axis() {
+  std::vector<std::string> specs = standard_policy_specs();
+  for (const char* a : {"0.25", "0.5", "0.75", "1.5", "2.0", "4.0"})
+    specs.push_back(std::string("mapg:alpha=") + a);
+  return specs;
+}
+
+/// Union of the timing axes, for the identity gate.
+std::vector<std::string> union_axis() {
+  std::vector<std::string> specs = tab1_axis();
+  for (const std::string& s : ablation_policy_specs())
+    if (std::find(specs.begin(), specs.end(), s) == specs.end())
+      specs.push_back(s);
+  return specs;
+}
+
+struct SweepRun {
+  SweepResult grid;
+  EngineStats stats;
+  double wall_s = 0;
+};
+
+/// Run the sweep on a fresh engine (cold result cache) and time it.
+SweepRun run_sweep_cold(const SweepSpec& spec, unsigned jobs,
+                        bool use_replay) {
+  ExecOptions opt;
+  opt.jobs = jobs;
+  opt.use_disk_cache = false;  // cold result cache is the operating point
+  opt.use_replay = use_replay;
+  ExperimentEngine engine(opt);
+  const auto t0 = std::chrono::steady_clock::now();
+  SweepRun out;
+  out.grid = engine.run_sweep(spec);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.stats = engine.stats();
+  out.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+/// Every cell byte-identical between the two sweeps; prints the first
+/// diverging cell otherwise.
+bool identical(const SweepSpec& spec, const SweepResult& direct,
+               const SweepResult& replay) {
+  for (std::size_t wi = 0; wi < spec.workloads.size(); ++wi)
+    for (std::size_t pi = 0; pi < spec.policy_specs.size(); ++pi) {
+      const JobOutcome& a = direct.at(0, wi, pi);
+      const JobOutcome& b = replay.at(0, wi, pi);
+      if (a.ok != b.ok) {
+        std::fprintf(stderr, "FAIL: %s/%s: ok %d vs %d\n",
+                     spec.workloads[wi].name.c_str(),
+                     spec.policy_specs[pi].c_str(), a.ok, b.ok);
+        return false;
+      }
+      if (!a.ok) continue;  // equal error text is checked by tests
+      if (result_to_json(*a.result).dump() !=
+          result_to_json(*b.result).dump()) {
+        std::fprintf(stderr, "FAIL: %s/%s: direct and replayed results "
+                             "diverge\n",
+                     spec.workloads[wi].name.c_str(),
+                     spec.policy_specs[pi].c_str());
+        return false;
+      }
+    }
+  return true;
+}
+
+void print_census(const SweepSpec& spec, const SweepResult& replay) {
+  std::printf("per-policy replay coverage (of %zu workloads):\n",
+              spec.workloads.size());
+  for (std::size_t pi = 0; pi < spec.policy_specs.size(); ++pi) {
+    std::size_t replayed = 0;
+    for (std::size_t wi = 0; wi < spec.workloads.size(); ++wi)
+      if (replay.at(0, wi, pi).from_replay) ++replayed;
+    std::printf("  %-24s %2zu replayed, %2zu direct%s\n",
+                spec.policy_specs[pi].c_str(), replayed,
+                spec.workloads.size() - replayed,
+                spec.policy_specs[pi] == "none" ? " (reference)" : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::parse_env(argc, argv, 500'000, 100'000);
+  KvConfig cfg;
+  cfg.parse_args(argc, argv);
+  const bool smoke = cfg.get_bool("smoke", false);
+  const int reps = static_cast<int>(cfg.get_uint("reps", 2));
+  const std::string axis = cfg.get_or("axis", "tab1");
+  const std::string json_path = cfg.get_or("json", "");
+  const double target = axis == "tab1" ? 3.0 : 1.5;
+
+  SweepSpec sweep;
+  sweep.base = env.sim;
+  if (smoke) {
+    sweep.base.instructions = cfg.get_uint("instructions", 20'000);
+    sweep.base.warmup_instructions = cfg.get_uint("warmup", 4'000);
+  }
+  sweep.workloads = builtin_profiles();
+  sweep.policy_specs = union_axis();
+  const unsigned jobs = env.exec.jobs;
+
+  std::printf(
+      "==== micro_replay_speedup: single-pass policy sweep vs direct ====\n"
+      "(instructions=%llu, warmup=%llu, seed=%llu, jobs=%u, axis=%s; "
+      "%zu workloads%s)\n\n",
+      static_cast<unsigned long long>(sweep.base.instructions),
+      static_cast<unsigned long long>(sweep.base.warmup_instructions),
+      static_cast<unsigned long long>(sweep.base.run_seed), jobs,
+      axis.c_str(), sweep.workloads.size(), smoke ? "; SMOKE" : "");
+
+  // --- Identity gate over the union of both axes (also warms allocator /
+  // page-cache state for the timed runs) ---
+  SweepRun direct = run_sweep_cold(sweep, jobs, false);
+  SweepRun replay = run_sweep_cold(sweep, jobs, true);
+  if (!identical(sweep, direct.grid, replay.grid)) return 1;
+  std::printf("identity: all %zu cells byte-identical (replayed %llu, "
+              "fallbacks %llu)\n",
+              direct.grid.outcomes.size(),
+              static_cast<unsigned long long>(replay.stats.jobs_replayed),
+              static_cast<unsigned long long>(replay.stats.replay_fallbacks));
+  print_census(sweep, replay.grid);
+  if (smoke) {
+    std::printf("smoke mode: identity only, skipping timing\n");
+    return 0;
+  }
+
+  // --- Timed comparison on the selected 11-policy axis: best-of-k
+  // cold-cache sweeps each way ---
+  sweep.policy_specs = axis == "ablation" ? ablation_policy_specs()
+                                          : tab1_axis();
+  direct = run_sweep_cold(sweep, jobs, false);
+  replay = run_sweep_cold(sweep, jobs, true);
+  for (int i = 1; i < reps; ++i) {
+    SweepRun d = run_sweep_cold(sweep, jobs, false);
+    if (d.wall_s < direct.wall_s) direct = std::move(d);
+    SweepRun r = run_sweep_cold(sweep, jobs, true);
+    if (r.wall_s < replay.wall_s) replay = std::move(r);
+  }
+
+  const double speedup = direct.wall_s / replay.wall_s;
+  const bool met = speedup >= target;
+  std::printf("\ntimed axis: %s (%zu policies x %zu workloads)\n",
+              axis.c_str(), sweep.policy_specs.size(),
+              sweep.workloads.size());
+  std::printf("%-22s %10s %10s\n", "", "direct", "replay");
+  std::printf("%-22s %9.3fs %9.3fs\n", "sweep wall-clock", direct.wall_s,
+              replay.wall_s);
+  std::printf("%-22s %10llu %10llu\n", "cells simulated",
+              static_cast<unsigned long long>(direct.stats.jobs_run),
+              static_cast<unsigned long long>(replay.stats.jobs_run));
+  std::printf("%-22s %10llu %10llu\n", "cells replayed", 0ULL,
+              static_cast<unsigned long long>(replay.stats.jobs_replayed));
+  std::printf("%-22s %10s %10llu\n", "replay fallbacks", "-",
+              static_cast<unsigned long long>(replay.stats.replay_fallbacks));
+  std::printf("\nspeedup: %.2fx (target %.1fx) %s\n", speedup, target,
+              met ? "PASS" : "MISS");
+  if (!met)
+    std::fprintf(stderr, "warning: sweep speedup %.2fx below %.1fx target\n",
+                 speedup, target);
+
+  if (!json_path.empty()) {
+    Json j = Json::object();
+    j["bench"] = Json::string("micro_replay_speedup");
+    j["axis"] = Json::string(axis);
+    j["instructions"] = Json::number(sweep.base.instructions);
+    j["warmup"] = Json::number(sweep.base.warmup_instructions);
+    j["seed"] = Json::number(sweep.base.run_seed);
+    j["jobs"] = Json::number(std::uint64_t{jobs});
+    j["workloads"] = Json::number(std::uint64_t{sweep.workloads.size()});
+    j["policies"] = Json::number(std::uint64_t{sweep.policy_specs.size()});
+    j["identity"] = Json::boolean(true);
+    j["direct_s"] = Json::number(direct.wall_s);
+    j["replay_s"] = Json::number(replay.wall_s);
+    j["speedup"] = Json::number(speedup);
+    j["timelines"] = Json::number(replay.stats.timelines_recorded);
+    j["replayed"] = Json::number(replay.stats.jobs_replayed);
+    j["fallbacks"] = Json::number(replay.stats.replay_fallbacks);
+    j["target"] = Json::number(target);
+    j["met"] = Json::boolean(met);
+    std::ofstream out(json_path);
+    out << j.dump() << "\n";
+    std::fprintf(stderr, "[bench] json -> %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Machine-readable perf trajectory: run the replay-speedup bench and emit
+# BENCH_replay.json at the repo root (the committed copy is the trajectory
+# record EXPERIMENTS.md §"Perf trajectory" quotes).
+#
+#   scripts/bench_report.sh [build_dir] [extra micro_replay_speedup args...]
+#
+# e.g.  scripts/bench_report.sh                      # default build/, tab1 axis
+#       scripts/bench_report.sh build --axis=ablation --json=BENCH_ablation.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+[ "$#" -gt 0 ] && shift
+
+BENCH="$BUILD/bench/micro_replay_speedup"
+if [ ! -x "$BENCH" ]; then
+  cmake -B "$BUILD" -S .
+  cmake --build "$BUILD" --target micro_replay_speedup -j
+fi
+
+# Default output path unless the caller passed their own --json=.
+ARGS=("$@")
+case " ${ARGS[*]-} " in
+  *" --json="*) ;;
+  *) ARGS+=("--json=BENCH_replay.json") ;;
+esac
+
+"$BENCH" "${ARGS[@]}"

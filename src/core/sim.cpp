@@ -24,31 +24,6 @@ void record_run_metrics(const SimResult& r) {
 }
 #endif
 
-/// Stall-kernel inputs derived from the platform configuration: stepping
-/// mode, DRAM refresh timing for the overlap meter, per-cycle energy rates
-/// for the window-energy cross-check.
-StallKernelParams make_kernel_params(const SimConfig& config,
-                                     const PgCircuit& circuit) {
-  StallKernelParams p;
-  p.mode = config.fast_forward ? StepMode::kFastForward
-                               : StepMode::kCycleAccurate;
-  p.t_refi = config.mem.dram.t_refi;
-  p.t_rfc = config.mem.dram.t_rfc;
-  p.rates = StallEnergyRates::make(config.tech, circuit, config.dram_energy,
-                                   config.mem.dram.channels);
-  const DramPowerConfig& pw = config.mem.dram.power;
-  if (pw.mode == DramPowerMode::kCoordinated) {
-    p.dram_pd.enabled = true;
-    p.dram_pd.t_pd = pw.t_pd;
-    p.dram_pd.t_xp = pw.t_xp;
-    p.dram_pd.t_cke = pw.t_cke;
-    // All channels but the one serving the blocking request may park.
-    p.dram_pd.idle_channels =
-        config.mem.dram.channels > 0 ? config.mem.dram.channels - 1 : 0;
-  }
-  return p;
-}
-
 /// Scalar-only snapshot of the stats the thermal epoch loop differences.
 struct EpochSnap {
   Cycle cycles = 0;
@@ -78,6 +53,28 @@ struct EpochSnap {
 
 }  // namespace
 
+StallKernelParams make_stall_kernel_params(const SimConfig& config,
+                                           const PgCircuit& circuit) {
+  StallKernelParams p;
+  p.mode = config.fast_forward ? StepMode::kFastForward
+                               : StepMode::kCycleAccurate;
+  p.t_refi = config.mem.dram.t_refi;
+  p.t_rfc = config.mem.dram.t_rfc;
+  p.rates = StallEnergyRates::make(config.tech, circuit, config.dram_energy,
+                                   config.mem.dram.channels);
+  const DramPowerConfig& pw = config.mem.dram.power;
+  if (pw.mode == DramPowerMode::kCoordinated) {
+    p.dram_pd.enabled = true;
+    p.dram_pd.t_pd = pw.t_pd;
+    p.dram_pd.t_xp = pw.t_xp;
+    p.dram_pd.t_cke = pw.t_cke;
+    // All channels but the one serving the blocking request may park.
+    p.dram_pd.idle_channels =
+        config.mem.dram.channels > 0 ? config.mem.dram.channels - 1 : 0;
+  }
+  return p;
+}
+
 PolicyContext Simulator::policy_context() const {
   const PgCircuit circuit(config_.pg, config_.tech);
   return PgController::make_context(circuit);
@@ -96,12 +93,65 @@ SimResult Simulator::run(const WorkloadProfile& profile,
 
 SimResult Simulator::run(TraceSource& trace, const std::string& workload_name,
                          PgPolicy& policy) const {
+  return run_impl(trace, workload_name, policy, nullptr);
+}
+
+SimResult Simulator::run(TraceSource& trace, const std::string& workload_name,
+                         const std::string& policy_spec) const {
+  const PgCircuit circuit(config_.pg, config_.tech);
+  const PolicyContext ctx = PgController::make_context(circuit);
+  std::unique_ptr<PgPolicy> policy = make_policy(policy_spec, ctx);
+  if (!policy)
+    throw std::invalid_argument("unknown policy spec: " + policy_spec);
+  return run_impl(trace, workload_name, *policy, nullptr);
+}
+
+SimResult Simulator::run_recorded(const WorkloadProfile& profile,
+                                  const std::string& policy_spec,
+                                  RunRecord& record) const {
+  // Materialize the trace up front: generation is a pure function of
+  // (profile, run_seed) and the core consumes exactly warmup + measured
+  // instructions, so the buffer is the complete stream every policy sees.
+  auto buf = std::make_shared<std::vector<Instr>>();
+  {
+    const std::uint64_t total =
+        config_.warmup_instructions + config_.instructions;
+    buf->reserve(static_cast<std::size_t>(total));
+    TraceGenerator gen(profile, config_.run_seed);
+    Instr instr;
+    for (std::uint64_t i = 0; i < total && gen.next(instr); ++i)
+      buf->push_back(instr);
+  }
+  record.trace = buf;
+  record.warmup_stalls.clear();
+  record.stalls.clear();
+
+  const PgCircuit circuit(config_.pg, config_.tech);
+  const PolicyContext ctx = PgController::make_context(circuit);
+  std::unique_ptr<PgPolicy> policy = make_policy(policy_spec, ctx);
+  if (!policy)
+    throw std::invalid_argument("unknown policy spec: " + policy_spec);
+  SharedTraceView view(buf);
+  return run_impl(view, profile.name, *policy, &record);
+}
+
+SimResult Simulator::run_impl(TraceSource& trace,
+                              const std::string& workload_name,
+                              PgPolicy& policy, RunRecord* record) const {
   MAPG_OBS_SCOPED_TIMER("sim.run.ns", "sim");
   const PgCircuit circuit(config_.pg, config_.tech);
   MemoryHierarchy mem(config_.mem);
-  const StallKernelParams kparams = make_kernel_params(config_, circuit);
+  const StallKernelParams kparams = make_stall_kernel_params(config_, circuit);
   PgController controller(policy, circuit, nullptr, kparams);
-  Core core(config_.core, mem, &controller);
+  // When recording, tee every stall event through to the controller; the
+  // recorder never alters the resume cycle, so results stay bit-identical.
+  RecordingStallHandler recorder(controller);
+  StallHandler* handler = &controller;
+  if (record != nullptr) {
+    recorder.set_sink(record->warmup_stalls);
+    handler = &recorder;
+  }
+  Core core(config_.core, mem, handler);
   core.set_step_mode(kparams.mode);
 
   // Warmup: populate caches, open DRAM rows, and let streams reach steady
@@ -116,6 +166,7 @@ SimResult Simulator::run(TraceSource& trace, const std::string& workload_name,
     mem.reset_stats();
     controller.reset_stats();
   }
+  if (record != nullptr) recorder.set_sink(record->stalls);
 
   core.run(trace, config_.instructions);
   mem.dram().settle_power(core.now());
@@ -158,7 +209,7 @@ ThermalResult Simulator::run_thermal(TraceSource& trace,
                                      PgPolicy& policy) const {
   const PgCircuit circuit(config_.pg, config_.tech);
   MemoryHierarchy mem(config_.mem);
-  const StallKernelParams kparams = make_kernel_params(config_, circuit);
+  const StallKernelParams kparams = make_stall_kernel_params(config_, circuit);
   PgController controller(policy, circuit, nullptr, kparams);
   Core core(config_.core, mem, &controller);
   core.set_step_mode(kparams.mode);

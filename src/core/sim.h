@@ -25,6 +25,7 @@
 #include "power/thermal.h"
 #include "trace/generator.h"
 #include "trace/profile.h"
+#include "trace/trace_io.h"
 
 namespace mapg {
 
@@ -96,6 +97,19 @@ struct ThermalResult {
   }
 };
 
+/// Everything a reference run leaves behind for per-policy replay
+/// (src/replay): the materialized trace (exactly warmup + measured
+/// instructions, shareable across cells via SharedTraceView) and the ordered
+/// full-core stall sequence, split at the warmup boundary.  Trace generation
+/// is a pure function of (profile, run_seed) — it never consults core timing
+/// — so the buffer is valid for every policy, including ones that perturb
+/// timing and must fall back to direct simulation.
+struct RunRecord {
+  std::shared_ptr<const std::vector<Instr>> trace;
+  std::vector<StallEvent> warmup_stalls;
+  std::vector<StallEvent> stalls;  ///< measured-phase stalls, in order
+};
+
 class Simulator {
  public:
   explicit Simulator(SimConfig config) : config_(std::move(config)) {}
@@ -109,6 +123,22 @@ class Simulator {
   /// for custom workloads/policies; see examples/custom_policy.cpp).
   SimResult run(TraceSource& trace, const std::string& workload_name,
                 PgPolicy& policy) const;
+
+  /// Spec-based variant of the trace-source overload: builds the policy from
+  /// `policy_spec` exactly like run(profile, spec) does, but draws
+  /// instructions from `trace`.  Feeding the same stream a TraceGenerator
+  /// would produce gives a bit-identical result; the replay engine uses this
+  /// to share one materialized trace across a sweep group's fallback cells.
+  SimResult run(TraceSource& trace, const std::string& workload_name,
+                const std::string& policy_spec) const;
+
+  /// Like run(profile, policy_spec), but additionally materializes the trace
+  /// into `record.trace` and captures every full-core StallEvent (warmup and
+  /// measured phases separately).  The returned result is bit-identical to
+  /// the unrecorded run — recording only tees, it never perturbs timing.
+  SimResult run_recorded(const WorkloadProfile& profile,
+                         const std::string& policy_spec,
+                         RunRecord& record) const;
 
   /// Like run(), but integrates the core hot-spot temperature epoch by
   /// epoch and applies the leakage-temperature feedback (R-Tab.7).  Uses
@@ -125,7 +155,18 @@ class Simulator {
   PolicyContext policy_context() const;
 
  private:
+  SimResult run_impl(TraceSource& trace, const std::string& workload_name,
+                     PgPolicy& policy, RunRecord* record) const;
+
   SimConfig config_;
 };
+
+/// Stall-kernel inputs derived from the platform configuration: stepping
+/// mode, DRAM refresh timing for the overlap meter, per-cycle energy rates
+/// for the window-energy cross-check, coordinated-PD inputs.  Shared with
+/// src/replay so a replayed controller resolves windows with byte-identical
+/// parameters to the direct path.
+StallKernelParams make_stall_kernel_params(const SimConfig& config,
+                                           const PgCircuit& circuit);
 
 }  // namespace mapg

@@ -72,6 +72,28 @@ class StallHandler {
   virtual Cycle on_stall(const StallEvent& event) { return event.data_ready; }
 };
 
+/// Tee decorator: appends every StallEvent to a sink vector, then forwards
+/// to the wrapped handler unchanged.  Because it never alters the returned
+/// resume cycle, a recorded run is bit-identical to an unrecorded one — the
+/// property the replay engine (src/replay) is built on.  The sink can be
+/// switched mid-run (e.g. at the warmup boundary) so event phases land in
+/// separate vectors.
+class RecordingStallHandler final : public StallHandler {
+ public:
+  explicit RecordingStallHandler(StallHandler& inner) : inner_(inner) {}
+
+  void set_sink(std::vector<StallEvent>& sink) { sink_ = &sink; }
+
+  Cycle on_stall(const StallEvent& event) override {
+    if (sink_ != nullptr) sink_->push_back(event);
+    return inner_.on_stall(event);
+  }
+
+ private:
+  StallHandler& inner_;
+  std::vector<StallEvent>* sink_ = nullptr;
+};
+
 struct CoreStats {
   std::uint64_t instrs = 0;
   std::uint64_t cycles = 0;  ///< total execution time

@@ -9,6 +9,8 @@
 #include "exec/serialize.h"
 #include "obs/obs.h"
 #include "obs/report.h"
+#include "replay/replay.h"
+#include "trace/trace_io.h"
 
 namespace mapg {
 
@@ -51,8 +53,9 @@ ExperimentEngine::ExperimentEngine(ExecOptions options)
     auto& reg = obs::MetricsRegistry::instance();
     for (const char* name :
          {"exec.jobs.run", "exec.jobs.cached", "exec.jobs.failed",
-          "exec.cache.mem_hit", "exec.cache.disk_hit", "exec.cache.miss",
-          "exec.cache.store"})
+          "exec.jobs.replayed", "exec.cache.mem_hit", "exec.cache.disk_hit",
+          "exec.cache.miss", "exec.cache.store", "sim.replay.timelines",
+          "sim.replay.windows", "sim.replay.cells", "sim.replay.fallbacks"})
       reg.counter(name);
   })
   if (!options_.log_jsonl.empty()) {
@@ -75,7 +78,9 @@ EngineStats ExperimentEngine::stats() const {
   return stats_;
 }
 
-JobOutcome ExperimentEngine::execute(const ExperimentJob& job) {
+JobOutcome ExperimentEngine::execute(
+    const ExperimentJob& job,
+    std::shared_ptr<const std::vector<Instr>> trace) {
   const std::string key =
       cache_key(job.config, job.profile, job.policy_spec);
   const double t0 = now_ms();
@@ -92,8 +97,17 @@ JobOutcome ExperimentEngine::execute(const ExperimentJob& job) {
   } else {
     try {
       const Simulator sim(job.config);
-      out.result =
-          cache_->store(key, sim.run(job.profile, job.policy_spec));
+      if (trace != nullptr) {
+        // Shared materialized trace (replay-group fallback): the stream is
+        // what a fresh generator would produce, so this is bit-identical to
+        // the generator path.
+        SharedTraceView view(std::move(trace));
+        out.result = cache_->store(
+            key, sim.run(view, job.profile.name, job.policy_spec));
+      } else {
+        out.result =
+            cache_->store(key, sim.run(job.profile, job.policy_spec));
+      }
       out.ok = true;
     } catch (const std::exception& e) {
       out.error = e.what();
@@ -103,12 +117,22 @@ JobOutcome ExperimentEngine::execute(const ExperimentJob& job) {
     out.wall_ms = now_ms() - t0;
   }
 
+  account(job, key, out, trace_ts);
+  return out;
+}
+
+void ExperimentEngine::account(const ExperimentJob& job,
+                               const std::string& key,
+                               const JobOutcome& out,
+                               [[maybe_unused]] std::uint64_t trace_ts) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (!out.ok)
       ++stats_.jobs_failed;
     else if (out.from_cache)
       ++stats_.jobs_cached;
+    else if (out.from_replay)
+      ++stats_.jobs_replayed;
     else
       ++stats_.jobs_run;
     stats_.busy_ms += out.wall_ms;
@@ -116,6 +140,7 @@ JobOutcome ExperimentEngine::execute(const ExperimentJob& job) {
   MAPG_OBS_ONLY(
     if (!out.ok) MAPG_OBS_COUNTER_INC("exec.jobs.failed");
     else if (out.from_cache) MAPG_OBS_COUNTER_INC("exec.jobs.cached");
+    else if (out.from_replay) MAPG_OBS_COUNTER_INC("exec.jobs.replayed");
     else MAPG_OBS_COUNTER_INC("exec.jobs.run");
     MAPG_OBS_HIST_RECORD("exec.job.wall_ns",
                          static_cast<std::uint64_t>(out.wall_ms * 1e6));
@@ -127,6 +152,7 @@ JobOutcome ExperimentEngine::execute(const ExperimentJob& job) {
                           .add("policy", job.policy_spec)
                           .add("seed", job.config.run_seed)
                           .add("cached", out.from_cache)
+                          .add("replayed", out.from_replay)
                           .add("ok", out.ok)
                           .json());
       const CacheStatsSnapshot cs = cache_->stats();
@@ -139,11 +165,11 @@ JobOutcome ExperimentEngine::execute(const ExperimentJob& job) {
       tracer.counter("exec.jobs", obs::TraceArgs()
                                       .add("run", es.jobs_run)
                                       .add("cached", es.jobs_cached)
+                                      .add("replayed", es.jobs_replayed)
                                       .add("failed", es.jobs_failed)
                                       .json());
     })
   log_job(job, key, out);
-  return out;
 }
 
 void ExperimentEngine::log_job(const ExperimentJob& job,
@@ -158,6 +184,7 @@ void ExperimentEngine::log_job(const ExperimentJob& job,
   line["instructions"] = Json::number(job.config.instructions);
   line["ok"] = Json::boolean(outcome.ok);
   line["cached"] = Json::boolean(outcome.from_cache);
+  line["replayed"] = Json::boolean(outcome.from_replay);
   line["wall_ms"] = Json::number(outcome.wall_ms);
   if (!outcome.ok) line["error"] = Json::string(outcome.error);
   std::lock_guard<std::mutex> lk(mu_);
@@ -253,8 +280,146 @@ SweepResult ExperimentEngine::run_sweep(const SweepSpec& spec) {
       r.baseline_policy = i;
       break;
     }
-  r.outcomes = run(expand(spec));
+  const std::vector<ExperimentJob> jobs = expand(spec);
+  // Recording pays for itself only when a group amortizes it across several
+  // policies; single-policy sweeps take the direct path unchanged.
+  if (!options_.use_replay || r.n_policies < 2) {
+    r.outcomes = run(jobs);
+    return r;
+  }
+  r.outcomes = run_replayed(jobs, r);
   return r;
+}
+
+void ExperimentEngine::run_group(const std::vector<ExperimentJob>& jobs,
+                                 const std::vector<std::size_t>& cell_indices,
+                                 std::vector<JobOutcome>& outcomes) {
+  // 1. Serve whatever the cache already has; collect the misses.
+  std::vector<std::size_t> missing;
+  for (const std::size_t c : cell_indices) {
+    const ExperimentJob& job = jobs[c];
+    if (cache_->get(cache_key(job.config, job.profile, job.policy_spec)))
+      outcomes[c] = execute(job);  // re-probe hits; accounting stays uniform
+    else
+      missing.push_back(c);
+  }
+  // 2. A recording (one full `none` simulation) only amortizes across >= 2
+  // would-be simulations.
+  if (missing.empty()) return;
+  if (missing.size() == 1) {
+    outcomes[missing.front()] = execute(jobs[missing.front()]);
+    return;
+  }
+
+  // 3. Record the reference timeline once for the whole group.
+  const ExperimentJob& first = jobs[missing.front()];
+  const double t_rec = now_ms();
+  StallTimeline timeline;
+  bool recorded = false;
+  try {
+    timeline = record_timeline(first.config, first.profile);
+    recorded = true;
+  } catch (...) {
+    // A platform config the simulator rejects outright: fall through — the
+    // per-cell direct path below reproduces the exact error per cell.
+  }
+  const double record_ms = now_ms() - t_rec;
+  if (recorded) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.timelines_recorded;
+  }
+
+  // 4. Resolve each missing cell: the `none` cell is the reference itself;
+  // other policies replay, falling back to a direct simulation over the
+  // shared trace buffer when replay is not exact.
+  for (const std::size_t c : missing) {
+    const ExperimentJob& job = jobs[c];
+    if (!recorded) {
+      outcomes[c] = execute(job);
+      continue;
+    }
+    const std::string key =
+        cache_key(job.config, job.profile, job.policy_spec);
+    if (job.policy_spec == "none") {
+      JobOutcome out;
+      out.result = cache_->store(key, SimResult(*timeline.reference));
+      out.ok = true;
+      out.wall_ms = record_ms;  // the recording run WAS this cell
+      account(job, key, out, 0);
+      outcomes[c] = std::move(out);
+      continue;
+    }
+    const double t0 = now_ms();
+    ReplayOutcome replayed;
+    bool replay_threw = false;
+    try {
+      replayed = replay_policy(timeline, job.policy_spec);
+    } catch (...) {
+      replay_threw = true;  // e.g. bad spec — direct path reports the error
+    }
+    if (!replayed.ok) {
+      if (!replay_threw) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.replay_fallbacks;
+      }
+      outcomes[c] = execute(job, timeline.record.trace);
+      continue;
+    }
+    JobOutcome out;
+    out.result = cache_->store(key, std::move(replayed.result));
+    out.ok = true;
+    out.from_replay = true;
+    out.wall_ms = now_ms() - t0;
+    account(job, key, out, 0);
+    outcomes[c] = std::move(out);
+  }
+}
+
+std::vector<JobOutcome> ExperimentEngine::run_replayed(
+    const std::vector<ExperimentJob>& jobs, const SweepResult& shape) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    run_started_ms_ = now_ms();
+  }
+  std::vector<JobOutcome> outcomes(jobs.size());
+
+  // One task per (variant, workload, seed) group; each group owns exactly
+  // the cells at its expansion indices, so parallel groups write disjoint
+  // slots and outcome order matches submission order for any jobs count.
+  std::vector<std::vector<std::size_t>> groups;
+  groups.reserve(shape.n_variants * shape.n_workloads * shape.n_seeds);
+  for (std::size_t vi = 0; vi < shape.n_variants; ++vi)
+    for (std::size_t wi = 0; wi < shape.n_workloads; ++wi)
+      for (std::size_t si = 0; si < shape.n_seeds; ++si) {
+        std::vector<std::size_t> cells;
+        cells.reserve(shape.n_policies);
+        for (std::size_t pi = 0; pi < shape.n_policies; ++pi)
+          cells.push_back(shape.index(vi, wi, pi, si));
+        groups.push_back(std::move(cells));
+      }
+
+  std::mutex done_mu;
+  std::size_t done = 0;
+  auto process = [&](std::size_t g) {
+    run_group(jobs, groups[g], outcomes);
+    std::size_t d;
+    {
+      std::lock_guard<std::mutex> lk(done_mu);
+      done += groups[g].size();
+      d = done;
+    }
+    progress_tick(d, jobs.size());
+  };
+
+  if (options_.jobs <= 1 || groups.size() <= 1) {
+    for (std::size_t g = 0; g < groups.size(); ++g) process(g);
+    return outcomes;
+  }
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.jobs);
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    pool_->submit([&process, g] { process(g); });
+  pool_->wait_idle();
+  return outcomes;
 }
 
 namespace {

@@ -42,6 +42,13 @@ struct ExecOptions {
   bool progress = false;
   /// Per-job JSONL run log path; empty = off.
   std::string log_jsonl;
+  /// Single-pass policy sweeps (src/replay, docs/MODEL.md §4b): run_sweep
+  /// records the stall timeline once per (variant, workload, seed) group and
+  /// replays it across the policy axis, falling back to direct simulation
+  /// for any cell whose replay hits a penalized window.  Results are
+  /// bit-identical either way (tests/test_replay.cpp); the knob exists so
+  /// the equivalence stays falsifiable (--replay=0 on every bench).
+  bool use_replay = true;
 };
 
 /// One experiment cell.  The trace seed rides inside config.run_seed.
@@ -56,6 +63,9 @@ struct JobOutcome {
   std::shared_ptr<const SimResult> result;
   bool ok = false;
   bool from_cache = false;
+  /// Reconstituted from a recorded stall timeline instead of simulated
+  /// (bit-identical to a direct run; see src/replay).
+  bool from_replay = false;
   std::string error;     ///< exception text when !ok
   double wall_ms = 0.0;  ///< this job's execution (or cache lookup) time
 };
@@ -106,6 +116,11 @@ struct EngineStats {
   std::uint64_t jobs_run = 0;       ///< simulations actually executed
   std::uint64_t jobs_cached = 0;    ///< served from memory or disk cache
   std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_replayed = 0;  ///< cells reconstituted from a timeline
+  std::uint64_t timelines_recorded = 0;  ///< reference recordings performed
+  /// Replays abandoned on a penalized window (cell fell back to a direct
+  /// simulation over the shared trace buffer).
+  std::uint64_t replay_fallbacks = 0;
   double busy_ms = 0;               ///< summed per-job wall time
 };
 
@@ -127,6 +142,12 @@ class ExperimentEngine {
   /// Expand in deterministic order: variant, workload, policy, seed.
   static std::vector<ExperimentJob> expand(const SweepSpec& spec);
 
+  /// Run the grid.  With options().use_replay and more than one policy,
+  /// cells are grouped by (variant, workload, seed): each group records one
+  /// `none` reference timeline and replays it across the policy axis
+  /// (src/replay), falling back to direct simulation per cell when replay
+  /// is not exact.  Outcomes are bit-identical to the direct path for any
+  /// jobs count.
   SweepResult run_sweep(const SweepSpec& spec);
 
   /// Generic ordered parallel-for over [0, n) on the engine's pool — for
@@ -139,7 +160,22 @@ class ExperimentEngine {
   EngineStats stats() const;
 
  private:
-  JobOutcome execute(const ExperimentJob& job);
+  /// Simulate (or serve from cache) one cell.  A non-null `trace` feeds the
+  /// simulator from the shared materialized buffer instead of a fresh
+  /// generator — the stream is identical, so results are bit-identical.
+  JobOutcome execute(const ExperimentJob& job,
+                     std::shared_ptr<const std::vector<Instr>> trace = {});
+  /// Shared outcome bookkeeping: engine stats, obs counters/trace, run log.
+  void account(const ExperimentJob& job, const std::string& key,
+               const JobOutcome& outcome, std::uint64_t trace_ts);
+  /// The grouped record-once/replay-per-policy path behind run_sweep.
+  std::vector<JobOutcome> run_replayed(const std::vector<ExperimentJob>& jobs,
+                                       const SweepResult& shape);
+  /// One (variant, workload, seed) group: cells at `cell_indices` in
+  /// `jobs`, all sharing config/profile/seed and differing only in policy.
+  void run_group(const std::vector<ExperimentJob>& jobs,
+                 const std::vector<std::size_t>& cell_indices,
+                 std::vector<JobOutcome>& outcomes);
   void log_job(const ExperimentJob& job, const std::string& key,
                const JobOutcome& outcome);
   void progress_tick(std::size_t done, std::size_t total);

@@ -33,7 +33,12 @@ namespace mapg {
 /// low-power draws joined the experiment identity; DramStats grew the
 /// residency counters, GatingStats the coordinated-PD tallies, and
 /// EnergyBreakdown the dram background / low-power-saved split.
-inline constexpr int kExecSchemaVersion = 3;
+/// v4: single-pass policy sweeps (src/replay).  Replayed cells are
+/// bit-identical to direct runs (tests/test_replay.cpp), so the encoding is
+/// unchanged; the bump draws a provenance boundary — every cached result
+/// from v4 on was produced (or could have been produced) by the replay
+/// engine, and caches written before it are never matched again.
+inline constexpr int kExecSchemaVersion = 4;
 
 // --- Results ---
 Json result_to_json(const SimResult& r);

@@ -42,7 +42,8 @@ const std::set<std::string>& sim_keys() {
 
 const std::set<std::string>& multicore_keys() {
   static const std::set<std::string> keys = {"cores", "arbiter_slots",
-                                             "addr_stride_log2"};
+                                             "addr_stride_log2",
+                                             "heap_scheduler"};
   return keys;
 }
 
@@ -222,6 +223,8 @@ MulticoreConfig apply_multicore_config(const KvConfig& kv,
       static_cast<std::uint32_t>(kv.get_uint("cores", base.num_cores));
   base.wake_arbiter_slots = static_cast<std::uint32_t>(
       kv.get_uint("arbiter_slots", base.wake_arbiter_slots));
+  base.heap_scheduler =
+      kv.get_bool("heap_scheduler", base.heap_scheduler);
   const auto stride_log2 = kv.get_uint("addr_stride_log2", 40);
   base.core_addr_stride = 1ULL << stride_log2;
   return base;

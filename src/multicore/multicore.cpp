@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+#include <queue>
 #include <stdexcept>
+#include <utility>
 
 #include "trace/trace_io.h"
 
@@ -12,8 +15,9 @@ namespace {
 /// Everything one core needs, bundled for the interleaving scheduler.
 struct Slot {
   std::string workload;
-  std::unique_ptr<TraceGenerator> gen;
-  std::unique_ptr<OffsetTraceSource> trace;
+  std::unique_ptr<TraceGenerator> gen;        ///< null for external traces
+  std::unique_ptr<OffsetTraceSource> trace;   ///< null for external traces
+  TraceSource* src = nullptr;  ///< the source the core actually consumes
   std::unique_ptr<MemoryHierarchy> mem;
   std::unique_ptr<PgPolicy> policy;
   std::unique_ptr<PgController> controller;
@@ -22,6 +26,7 @@ struct Slot {
   bool warmed = false;     ///< crossed the warmup instruction count
   bool done = false;       ///< crossed warmup + measurement; stats frozen
   bool exhausted = false;  ///< trace ended; core no longer schedulable
+  bool invalid = false;    ///< trace ended before warmup; stats zeroed
   // Stats frozen at the measurement crossing point.
   CoreStats final_core;
   HierarchyStats final_hier;
@@ -39,12 +44,35 @@ MulticoreSim::MulticoreSim(MulticoreConfig config)
 MulticoreResult MulticoreSim::run(
     const std::vector<WorkloadProfile>& workloads,
     const std::string& policy_spec) const {
+  return run_impl(workloads, policy_spec, nullptr);
+}
+
+MulticoreResult MulticoreSim::run(
+    const std::vector<WorkloadProfile>& workloads,
+    const std::string& policy_spec,
+    const std::vector<TraceSource*>& traces) const {
+  if (traces.size() != config_.num_cores)
+    throw std::invalid_argument("need one trace source per core");
+  for (TraceSource* t : traces)
+    if (t == nullptr)
+      throw std::invalid_argument("null trace source");
+  return run_impl(workloads, policy_spec, &traces);
+}
+
+MulticoreResult MulticoreSim::run_impl(
+    const std::vector<WorkloadProfile>& workloads,
+    const std::string& policy_spec,
+    const std::vector<TraceSource*>* ext_traces) const {
   if (workloads.empty())
     throw std::invalid_argument("need at least one workload profile");
-  for (const auto& w : workloads) {
-    if (w.working_set_bytes > config_.core_addr_stride)
-      throw std::invalid_argument("workload '" + w.name +
-                                  "' exceeds the per-core address stride");
+  // External traces carry their own address layout; the stride guard only
+  // applies to the generated disjoint-slice scheme.
+  if (ext_traces == nullptr) {
+    for (const auto& w : workloads) {
+      if (w.working_set_bytes > config_.core_addr_stride)
+        throw std::invalid_argument("workload '" + w.name +
+                                    "' exceeds the per-core address stride");
+    }
   }
 
   const PgCircuit circuit(config_.pg, config_.tech);
@@ -75,11 +103,16 @@ MulticoreResult MulticoreSim::run(
     Slot& s = slots[i];
     const WorkloadProfile& w = workloads[i % workloads.size()];
     s.workload = w.name;
-    // Distinct run seeds: cores running the same profile still draw
-    // independent traces.
-    s.gen = std::make_unique<TraceGenerator>(w, config_.run_seed + i);
-    s.trace = std::make_unique<OffsetTraceSource>(
-        *s.gen, config_.core_addr_stride * i);
+    if (ext_traces != nullptr) {
+      s.src = (*ext_traces)[i];
+    } else {
+      // Distinct run seeds: cores running the same profile still draw
+      // independent traces.
+      s.gen = std::make_unique<TraceGenerator>(w, config_.run_seed + i);
+      s.trace = std::make_unique<OffsetTraceSource>(
+          *s.gen, config_.core_addr_stride * i);
+      s.src = s.trace.get();
+    }
     s.mem = std::make_unique<MemoryHierarchy>(config_.mem, shared_l2,
                                               shared_dram);
     s.policy = make_policy(policy_spec, ctx);
@@ -130,25 +163,85 @@ MulticoreResult MulticoreSim::run(
     s.final_gating = s.controller->stats();
     ++done_count;
   };
+  // The trace ended (only possible for finite external sources).  If that
+  // happened before the warmup target there is no uncontaminated
+  // measurement: zero the statistics and flag the slot invalid instead of
+  // freezing warmup traffic as if it were measured.
+  auto exhaust_slot = [&](Slot& s) {
+    s.exhausted = true;
+    if (s.done) return;
+    if (!s.warmed) {
+      s.invalid = true;
+      s.core->reset_stats();
+      s.mem->reset_stats();
+      s.controller->reset_stats();
+    }
+    finish_slot(s);
+  };
 
   if (warm_target == 0)
     for (auto& s : slots) warm_slot(s);
 
-  while (done_count < config_.num_cores) {
-    Slot* next = nullptr;
-    for (auto& s : slots) {
-      if (s.exhausted) continue;
-      if (next == nullptr || s.core->now() < next->core->now()) next = &s;
+  // Shared by both schedulers: retire one instruction on slot s, crossing
+  // the warmup / measurement thresholds as they are reached.  Returns false
+  // when the slot's trace ended.
+  auto step_slot = [&](Slot& s) {
+    if (!s.core->step(*s.src)) {
+      exhaust_slot(s);
+      return false;
     }
-    if (next == nullptr) break;  // every trace exhausted
-    if (!next->core->step(*next->trace)) {
-      next->exhausted = true;  // only finite traces end; generators do not
-      if (!next->done) finish_slot(*next);
-      continue;
+    ++s.executed;
+    if (!s.warmed && s.executed >= warm_target) warm_slot(s);
+    if (!s.done && s.executed >= total_target) finish_slot(s);
+    return true;
+  };
+
+  if (config_.heap_scheduler) {
+    // Min-heap of (local clock, slot index): pop the scheduling minimum and
+    // let it retire instructions until the next entry would overtake it —
+    // (clock, index) lexicographic order reproduces the linear scan's
+    // lowest-index tie-break exactly, so the interleaving (and therefore
+    // every shared-resource access order) is bit-identical to the scan.
+    using Entry = std::pair<Cycle, std::uint32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> ready;
+    for (std::uint32_t i = 0; i < config_.num_cores; ++i)
+      ready.emplace(slots[i].core->now(), i);
+
+    while (done_count < config_.num_cores && !ready.empty()) {
+      const std::uint32_t idx = ready.top().second;
+      ready.pop();
+      Slot& s = slots[idx];
+      Cycle h_clk = std::numeric_limits<Cycle>::max();
+      std::uint32_t h_idx = 0;
+      if (!ready.empty()) {
+        h_clk = ready.top().first;
+        h_idx = ready.top().second;
+      }
+      bool alive = true;
+      do {
+        if (!step_slot(s)) {
+          alive = false;
+          break;
+        }
+        // Re-check after every retired instruction: crossing the last
+        // measurement threshold ends the run immediately, mid-horizon.
+        if (done_count >= config_.num_cores) break;
+      } while (s.core->now() < h_clk ||
+               (s.core->now() == h_clk && idx < h_idx));
+      if (alive) ready.emplace(s.core->now(), idx);
     }
-    ++next->executed;
-    if (!next->warmed && next->executed >= warm_target) warm_slot(*next);
-    if (!next->done && next->executed >= total_target) finish_slot(*next);
+  } else {
+    // Historical per-instruction linear min-scan, kept for the differential
+    // suite to prove the heap scheduler bit-identical.
+    while (done_count < config_.num_cores) {
+      Slot* next = nullptr;
+      for (auto& s : slots) {
+        if (s.exhausted) continue;
+        if (next == nullptr || s.core->now() < next->core->now()) next = &s;
+      }
+      if (next == nullptr) break;  // every trace exhausted
+      step_slot(*next);
+    }
   }
 
   MulticoreResult result;
@@ -172,6 +265,7 @@ MulticoreResult MulticoreSim::run(
   for (auto& s : slots) {
     CoreSlotResult slot_result;
     slot_result.workload = s.workload;
+    slot_result.valid = !s.invalid;
     slot_result.core = s.final_core;
     slot_result.hier = s.final_hier;
     slot_result.gating = s.final_gating;

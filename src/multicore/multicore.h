@@ -44,11 +44,24 @@ struct MulticoreConfig {
   /// Stall-window stepping mode for every core and controller; same
   /// semantics and bit-identity contract as SimConfig::fast_forward.
   bool fast_forward = true;
+  /// Scheduler implementation.  true (default): a min-heap over core clocks
+  /// with a bulk-run horizon — the leading core retires instructions until
+  /// the second-smallest clock would overtake it, amortizing dispatch from
+  /// O(num_cores) per instruction to O(log num_cores) per lead change.
+  /// false: the historical per-instruction linear min-scan.  Results are
+  /// bit-identical either way (tests/test_differential.cpp).
+  bool heap_scheduler = true;
 };
 
 /// Per-core outcome of a multicore run.
 struct CoreSlotResult {
   std::string workload;
+  /// false when the core's trace ended before the warmup target was reached:
+  /// no uncontaminated measurement exists, so the statistics are zeroed
+  /// (instrs == 0) rather than frozen with warmup traffic mixed in.  Only
+  /// possible with externally supplied finite traces — generated traces
+  /// never end.
+  bool valid = true;
   CoreStats core;
   HierarchyStats hier;
   GatingStats gating;
@@ -110,9 +123,22 @@ class MulticoreSim {
   MulticoreResult run(const std::vector<WorkloadProfile>& workloads,
                       const std::string& policy_spec) const;
 
+  /// Same run, but core i consumes traces[i] instead of generating a stream
+  /// from its profile (workloads still label the slots and must be sized
+  /// num_cores or evenly cycled).  The caller owns the sources and their
+  /// address-space layout; a source that ends before the warmup target
+  /// yields an invalid slot (CoreSlotResult::valid == false).
+  MulticoreResult run(const std::vector<WorkloadProfile>& workloads,
+                      const std::string& policy_spec,
+                      const std::vector<TraceSource*>& traces) const;
+
   const MulticoreConfig& config() const { return config_; }
 
  private:
+  MulticoreResult run_impl(const std::vector<WorkloadProfile>& workloads,
+                           const std::string& policy_spec,
+                           const std::vector<TraceSource*>* ext_traces) const;
+
   MulticoreConfig config_;
 };
 

@@ -34,7 +34,7 @@
 namespace mapg {
 
 /// Static inputs of the coordination closed form (derived from
-/// DramPowerConfig by core/sim.cpp::make_kernel_params).
+/// DramPowerConfig by core/sim.h::make_stall_kernel_params).
 struct DramCoordinationParams {
   bool enabled = false;  ///< DramPowerMode::kCoordinated selected
   Cycle t_pd = 0;        ///< CKE-low to power-down established

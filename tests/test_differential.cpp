@@ -179,6 +179,76 @@ TEST(KernelDifferential, MulticoreWithArbiterMatches) {
   }
 }
 
+// Scheduler differential: the min-heap bulk-run scheduler must reproduce
+// the historical per-instruction linear min-scan exactly — same pop order
+// (lowest clock, then lowest slot index), same shared-L2/DRAM access
+// interleaving, same early stop when the last core crosses its measurement
+// quota.  Any divergence shows up in the shared counters or makespan.
+TEST(KernelDifferential, MulticoreHeapSchedulerMatchesLinearScan) {
+  MulticoreConfig base;
+  base.num_cores = 4;
+  base.instructions_per_core = 25'000;
+  base.warmup_instructions = 5'000;
+  base.wake_arbiter_slots = 1;  // grants depend on global wakeup order
+
+  // Asymmetric mix: cores run at very different speeds, so the lead changes
+  // often and ties (equal clocks) actually occur.
+  const std::vector<WorkloadProfile> mix = {*find_profile("mcf-like"),
+                                            *find_profile("gamess-like"),
+                                            *find_profile("libquantum-like"),
+                                            *find_profile("omnetpp-like")};
+  for (const char* spec : {"none", "mapg", "idle-timeout:64"}) {
+    MulticoreConfig heap = base;
+    heap.heap_scheduler = true;
+    MulticoreConfig scan = base;
+    scan.heap_scheduler = false;
+    const MulticoreResult a = MulticoreSim(heap).run(mix, spec);
+    const MulticoreResult b = MulticoreSim(scan).run(mix, spec);
+
+    EXPECT_EQ(a.makespan, b.makespan) << spec;
+    EXPECT_EQ(a.shared_l2.read_hits, b.shared_l2.read_hits) << spec;
+    EXPECT_EQ(a.shared_l2.read_misses, b.shared_l2.read_misses) << spec;
+    EXPECT_EQ(a.shared_l2.write_hits, b.shared_l2.write_hits) << spec;
+    EXPECT_EQ(a.shared_l2.write_misses, b.shared_l2.write_misses) << spec;
+    EXPECT_EQ(a.shared_l2.evictions, b.shared_l2.evictions) << spec;
+    EXPECT_EQ(a.dram.reads, b.dram.reads) << spec;
+    EXPECT_EQ(a.dram.writes, b.dram.writes) << spec;
+    EXPECT_EQ(a.dram.row_hits, b.dram.row_hits) << spec;
+    EXPECT_EQ(a.dram.row_conflicts, b.dram.row_conflicts) << spec;
+    EXPECT_EQ(a.dram.refresh_delays, b.dram.refresh_delays) << spec;
+    EXPECT_EQ(a.wake_delayed_grants, b.wake_delayed_grants) << spec;
+    EXPECT_EQ(a.wake_delay_cycles, b.wake_delay_cycles) << spec;
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (std::size_t i = 0; i < a.cores.size(); ++i) {
+      const CoreSlotResult& x = a.cores[i];
+      const CoreSlotResult& y = b.cores[i];
+      EXPECT_EQ(x.valid, y.valid) << spec << " core " << i;
+      EXPECT_EQ(x.core.cycles, y.core.cycles) << spec << " core " << i;
+      EXPECT_EQ(x.core.instrs, y.core.instrs) << spec << " core " << i;
+      EXPECT_EQ(x.core.stall_cycles_dram, y.core.stall_cycles_dram)
+          << spec << " core " << i;
+      EXPECT_EQ(x.core.penalty_cycles, y.core.penalty_cycles)
+          << spec << " core " << i;
+      EXPECT_EQ(x.hier.served_dram, y.hier.served_dram)
+          << spec << " core " << i;
+      EXPECT_EQ(x.hier.merged, y.hier.merged) << spec << " core " << i;
+      EXPECT_EQ(x.gating.gated_events, y.gating.gated_events)
+          << spec << " core " << i;
+      EXPECT_EQ(x.gating.activity.gated_cycles, y.gating.activity.gated_cycles)
+          << spec << " core " << i;
+      EXPECT_EQ(x.gating.idle_ungated_cycles, y.gating.idle_ungated_cycles)
+          << spec << " core " << i;
+      // Identical counters through identical compute_energy => identical
+      // doubles, exactly.
+      EXPECT_EQ(x.energy.total_j(), y.energy.total_j())
+          << spec << " core " << i;
+    }
+    EXPECT_EQ(a.total_j(), b.total_j()) << spec;
+    EXPECT_EQ(a.shared_leak_j, b.shared_leak_j) << spec;
+    EXPECT_EQ(a.dram_j, b.dram_j) << spec;
+  }
+}
+
 // Thermal feedback: epoch boundaries are instruction counts, so identical
 // per-epoch counters give identical FP epoch energies and temperatures.
 TEST(KernelDifferential, ThermalRunMatches) {

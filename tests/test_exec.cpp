@@ -308,12 +308,18 @@ TEST(ExperimentEngine, WarmDiskCacheRunsZeroSimulations) {
   {
     ExperimentEngine cold(opts);
     cold.run_sweep(spec);
-    EXPECT_EQ(cold.stats().jobs_run, 9u);
+    // With replay on (the default), part of the policy axis reconstitutes
+    // from each group's recorded timeline instead of simulating; every cell
+    // is still produced exactly once.
+    EXPECT_EQ(cold.stats().jobs_run + cold.stats().jobs_replayed, 9u);
+    EXPECT_GT(cold.stats().jobs_replayed, 0u);
+    EXPECT_EQ(cold.stats().timelines_recorded, 3u);  // one per workload group
   }
   // Fresh engine, same directory: everything must come off disk.
   ExperimentEngine warm(opts);
   const SweepResult r = warm.run_sweep(spec);
   EXPECT_EQ(warm.stats().jobs_run, 0u);
+  EXPECT_EQ(warm.stats().jobs_replayed, 0u);
   EXPECT_EQ(warm.stats().jobs_cached, 9u);
   for (const auto& o : r.outcomes) {
     EXPECT_TRUE(o.ok);

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "multicore/multicore.h"
+#include "trace/generator.h"
+#include "trace/trace_io.h"
 
 namespace mapg {
 namespace {
@@ -164,6 +166,59 @@ TEST(Multicore, RejectsBadInputs) {
   MulticoreConfig tiny = fast_config(2);
   tiny.core_addr_stride = 1 << 20;  // smaller than mcf's working set
   EXPECT_THROW(MulticoreSim(tiny).run(profile("mcf-like"), "mapg"),
+               std::invalid_argument);
+}
+
+std::vector<Instr> take(TraceSource& src, std::size_t n) {
+  std::vector<Instr> v;
+  v.reserve(n);
+  Instr ins;
+  while (v.size() < n && src.next(ins)) v.push_back(ins);
+  return v;
+}
+
+TEST(Multicore, ExternalTraceEndingBeforeWarmupInvalidatesSlot) {
+  // Three finite external traces: one covers the full quota, one ends
+  // mid-measurement (valid, partial), one ends before the warmup target —
+  // that slot must come back invalid with ZEROED stats, not with warmup
+  // traffic frozen in as if it were measured.
+  MulticoreConfig cfg = fast_config(3);
+  const WorkloadProfile* p = find_profile("mcf-like");
+  ASSERT_NE(p, nullptr);
+  const std::uint64_t quota =
+      cfg.warmup_instructions + cfg.instructions_per_core;
+
+  TraceGenerator gen_full(*p, 1), gen_mid(*p, 2), gen_short(*p, 3);
+  VectorTraceSource full(take(gen_full, quota));
+  VectorTraceSource mid(
+      take(gen_mid, cfg.warmup_instructions + cfg.instructions_per_core / 2));
+  VectorTraceSource short_trace(take(gen_short, cfg.warmup_instructions / 2));
+
+  const MulticoreResult r = MulticoreSim(cfg).run(
+      {*p}, "mapg", {&full, &mid, &short_trace});
+  ASSERT_EQ(r.cores.size(), 3u);
+
+  EXPECT_TRUE(r.cores[0].valid);
+  EXPECT_EQ(r.cores[0].core.instrs, cfg.instructions_per_core);
+
+  EXPECT_TRUE(r.cores[1].valid);
+  EXPECT_GT(r.cores[1].core.instrs, 0u);
+  EXPECT_LT(r.cores[1].core.instrs, cfg.instructions_per_core);
+
+  EXPECT_FALSE(r.cores[2].valid);
+  EXPECT_EQ(r.cores[2].core.instrs, 0u);
+  EXPECT_EQ(r.cores[2].core.cycles, 0u);
+  EXPECT_EQ(r.cores[2].gating.gated_events, 0u);
+}
+
+TEST(Multicore, ExternalTracesValidated) {
+  const MulticoreSim mc(fast_config(2));
+  TraceGenerator gen(*find_profile("mcf-like"), 1);
+  VectorTraceSource one(take(gen, 1000));
+  // Wrong count and null entries are both rejected up front.
+  EXPECT_THROW(mc.run(profile("mcf-like"), "mapg", {&one}),
+               std::invalid_argument);
+  EXPECT_THROW(mc.run(profile("mcf-like"), "mapg", {&one, nullptr}),
                std::invalid_argument);
 }
 

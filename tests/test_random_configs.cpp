@@ -13,6 +13,7 @@
 
 #include "core/sim.h"
 #include "exec/serialize.h"
+#include "replay/replay.h"
 #include "trace/profile.h"
 
 namespace mapg {
@@ -184,6 +185,47 @@ TEST(RandomConfigs, FastForwardEquivalenceSweep) {
     }
     if (mode != DramPowerMode::kCoordinated)
       EXPECT_EQ(a.gating.dram_pd_channel_cycles, 0u) << what;
+  }
+}
+
+// Replay corners over the same randomized configuration space: pathological
+// refresh timing, DRAM low-power modes, random gating circuits.  For every
+// sample the timeline replay must either reproduce the direct run
+// bit-for-bit (ok == true) or refuse (ok == false, engine falls back) —
+// a replay that "succeeds" with different numbers is the one failure mode
+// this sweep exists to catch.
+TEST(RandomConfigs, ReplayEquivalenceSweep) {
+  std::mt19937_64 rng(0x5245504cu);  // "REPL"
+  constexpr int kSamples = 20;
+  for (int i = 0; i < kSamples; ++i) {
+    Sample s = draw(rng);
+    s.cfg.fast_forward = true;  // the replay engine's operating mode
+    const std::string what = "sample " + std::to_string(i) + ": " +
+                             s.workload + " / " + s.policy +
+                             " seed=" + std::to_string(s.cfg.run_seed);
+    const WorkloadProfile* p = find_profile(s.workload);
+    ASSERT_NE(p, nullptr) << what;
+
+    const StallTimeline tl = record_timeline(s.cfg, *p);
+    EXPECT_EQ(result_to_json(*tl.reference).dump(),
+              result_to_json(Simulator(s.cfg).run(*p, "none")).dump())
+        << what;
+
+    // `none` gates nothing, so no window can be penalized: always replays.
+    const ReplayOutcome none = replay_policy(tl, "none");
+    ASSERT_TRUE(none.ok) << what;
+    EXPECT_EQ(result_to_json(none.result).dump(),
+              result_to_json(*tl.reference).dump())
+        << what;
+
+    const ReplayOutcome out = replay_policy(tl, s.policy);
+    if (out.ok) {
+      const SimResult direct = Simulator(s.cfg).run(*p, s.policy);
+      EXPECT_EQ(result_to_json(out.result).dump(),
+                result_to_json(direct).dump())
+          << what;
+      check_invariants(out.result, what + " [replayed]");
+    }
   }
 }
 
