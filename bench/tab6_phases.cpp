@@ -18,7 +18,7 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "core/runner.h"
+#include "exec/runner.h"
 #include "pg/factory.h"
 #include "trace/generator.h"
 #include "trace/profile.h"

@@ -13,7 +13,7 @@
 
 #include "common/config.h"
 #include "common/table.h"
-#include "core/runner.h"
+#include "exec/runner.h"
 #include "pg/policies.h"
 #include "trace/generator.h"
 #include "trace/profile.h"

@@ -10,7 +10,7 @@
 
 #include "common/config.h"
 #include "common/table.h"
-#include "core/runner.h"
+#include "exec/runner.h"
 #include "trace/profile.h"
 
 using namespace mapg;

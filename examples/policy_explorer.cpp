@@ -12,7 +12,7 @@
 
 #include "common/config.h"
 #include "common/table.h"
-#include "core/runner.h"
+#include "exec/runner.h"
 #include "pg/factory.h"
 #include "trace/profile.h"
 

@@ -6,8 +6,8 @@
 
 #include "common/config.h"
 #include "common/table.h"
-#include "core/runner.h"
 #include "core/sim.h"
+#include "exec/runner.h"
 #include "power/energy_model.h"
 #include "trace/profile.h"
 

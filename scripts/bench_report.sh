@@ -1,29 +1,46 @@
 #!/usr/bin/env bash
-# Machine-readable perf trajectory: run the replay-speedup bench and emit
-# BENCH_replay.json at the repo root (the committed copy is the trajectory
+# Machine-readable perf trajectory: run a trajectory bench and emit its
+# BENCH_*.json at the repo root (the committed copies are the trajectory
 # record EXPERIMENTS.md §"Perf trajectory" quotes).
 #
-#   scripts/bench_report.sh [build_dir] [extra micro_replay_speedup args...]
+#   scripts/bench_report.sh [build_dir] [replay|serve|all] [extra bench args...]
 #
-# e.g.  scripts/bench_report.sh                      # default build/, tab1 axis
-#       scripts/bench_report.sh build --axis=ablation --json=BENCH_ablation.json
+# e.g.  scripts/bench_report.sh                      # build/, replay, tab1 axis
+#       scripts/bench_report.sh build serve          # serving QPS -> BENCH_serve.json
+#       scripts/bench_report.sh build all            # both records
+#       scripts/bench_report.sh build replay --axis=ablation --json=BENCH_ablation.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
 [ "$#" -gt 0 ] && shift
-
-BENCH="$BUILD/bench/micro_replay_speedup"
-if [ ! -x "$BENCH" ]; then
-  cmake -B "$BUILD" -S .
-  cmake --build "$BUILD" --target micro_replay_speedup -j
-fi
-
-# Default output path unless the caller passed their own --json=.
-ARGS=("$@")
-case " ${ARGS[*]-} " in
-  *" --json="*) ;;
-  *) ARGS+=("--json=BENCH_replay.json") ;;
+MODE="${1:-replay}"
+case "$MODE" in
+  replay|serve|all) [ "$#" -gt 0 ] && shift ;;
+  *) MODE=replay ;;  # unrecognized first arg: treat it as a bench arg
 esac
 
-"$BENCH" "${ARGS[@]}"
+run_bench() {  # run_bench <target> <default_json> [args...]
+  local target="$1" default_json="$2"
+  shift 2
+  local bin="$BUILD/bench/$target"
+  if [ ! -x "$bin" ]; then
+    cmake -B "$BUILD" -S .
+    cmake --build "$BUILD" --target "$target" -j
+  fi
+  local args=("$@")
+  case " ${args[*]-} " in
+    *" --json="*) ;;
+    *) args+=("--json=$default_json") ;;
+  esac
+  "$bin" "${args[@]}"
+}
+
+case "$MODE" in
+  replay) run_bench micro_replay_speedup BENCH_replay.json "$@" ;;
+  serve)  run_bench load_serve BENCH_serve.json "$@" ;;
+  all)
+    run_bench micro_replay_speedup BENCH_replay.json
+    run_bench load_serve BENCH_serve.json
+    ;;
+esac

@@ -208,6 +208,26 @@ JobOutcome ExperimentEngine::run_one(const ExperimentJob& job) {
   return execute(job);
 }
 
+JobOutcome ExperimentEngine::run_one_traced(
+    const ExperimentJob& job,
+    std::shared_ptr<const std::vector<Instr>> trace) {
+  return execute(job, std::move(trace));
+}
+
+void ExperimentEngine::submit_detached(std::function<void()> task) {
+  if (options_.jobs <= 1) {
+    task();
+    return;
+  }
+  {
+    // run()/parallel_for() create the pool from a single caller thread;
+    // detached submissions can race each other, so creation locks here.
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.jobs);
+  }
+  pool_->submit(std::move(task));
+}
+
 std::vector<JobOutcome> ExperimentEngine::run(
     const std::vector<ExperimentJob>& jobs) {
   {

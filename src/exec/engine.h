@@ -139,6 +139,21 @@ class ExperimentEngine {
 
   JobOutcome run_one(const ExperimentJob& job);
 
+  /// run_one over a shared materialized trace buffer instead of a fresh
+  /// generator (bit-identical; see execute()).  Serve-layer hook: the
+  /// tiered executor re-simulates replay-ineligible cells from a cached
+  /// StallTimeline's trace without regenerating it (src/serve/tiered.h).
+  JobOutcome run_one_traced(const ExperimentJob& job,
+                            std::shared_ptr<const std::vector<Instr>> trace);
+
+  /// Enqueue an opaque task on the engine's pool and return immediately
+  /// (the pool is created on first use; with jobs <= 1 the task runs
+  /// inline).  Serve-layer hook: connection readers feed request handlers
+  /// to the same workers that run simulations, so one knob (--jobs) bounds
+  /// total compute.  Unlike run()/parallel_for(), completion is the
+  /// caller's contract to track.
+  void submit_detached(std::function<void()> task);
+
   /// Expand in deterministic order: variant, workload, policy, seed.
   static std::vector<ExperimentJob> expand(const SweepSpec& spec);
 

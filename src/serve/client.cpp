@@ -1,0 +1,150 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mapg::serve {
+
+ServeClient::~ServeClient() { close(); }
+
+bool ServeClient::connect(const std::string& host, std::uint16_t port,
+                          std::string* error) {
+  close();
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints,
+                                   &res);
+      rc != 0) {
+    if (error) *error = std::string("resolve ") + host + ": " +
+                        ::gai_strerror(rc);
+    return false;
+  }
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      // Frames are single writes of a full request; don't batch them.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd_ = fd;
+      break;
+    }
+    last_error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  if (fd_ < 0) {
+    if (error) *error = host + ":" + port_str + ": " + last_error;
+    return false;
+  }
+  return true;
+}
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ServeClient::send(FrameType type, const std::string& payload,
+                       std::string* error) {
+  if (fd_ < 0) {
+    if (error) *error = "not connected";
+    return false;
+  }
+  return write_frame(fd_, Frame{type, payload}, error);
+}
+
+bool ServeClient::recv(Frame* frame, std::string* error) {
+  if (fd_ < 0) {
+    if (error) *error = "not connected";
+    return false;
+  }
+  if (read_frame(fd_, frame, error)) return true;
+  if (error && error->empty()) *error = "server closed the connection";
+  return false;
+}
+
+std::optional<Frame> ServeClient::roundtrip(FrameType type,
+                                            const std::string& payload,
+                                            std::string* error) {
+  if (!send(type, payload, error)) return std::nullopt;
+  Frame reply;
+  if (!recv(&reply, error)) return std::nullopt;
+  return reply;
+}
+
+std::optional<Json> ServeClient::roundtrip_json(FrameType type,
+                                                const std::string& payload,
+                                                std::string* error) {
+  const std::optional<Frame> reply = roundtrip(type, payload, error);
+  if (!reply) return std::nullopt;
+  if (reply->type == FrameType::kReplyError) {
+    if (error) {
+      const std::optional<Json> doc = Json::parse(reply->payload);
+      *error = doc ? doc->get("error").as_string() : reply->payload;
+      if (error->empty()) *error = "server error";
+    }
+    return std::nullopt;
+  }
+  if (reply->type != FrameType::kReplyOk) {
+    if (error) *error = "unexpected reply frame type";
+    return std::nullopt;
+  }
+  std::string parse_error;
+  std::optional<Json> doc = Json::parse(reply->payload, &parse_error);
+  if (!doc) {
+    if (error) *error = "bad reply payload: " + parse_error;
+    return std::nullopt;
+  }
+  return doc;
+}
+
+bool ServeClient::ping(std::string* error) {
+  const std::optional<Frame> reply =
+      roundtrip(FrameType::kPing, {}, error);
+  if (!reply) return false;
+  if (reply->type != FrameType::kReplyOk) {
+    if (error) *error = "ping rejected";
+    return false;
+  }
+  return true;
+}
+
+std::optional<Json> ServeClient::stats(std::string* error) {
+  return roundtrip_json(FrameType::kStats, {}, error);
+}
+
+bool ServeClient::shutdown_server(std::string* error) {
+  const std::optional<Frame> reply =
+      roundtrip(FrameType::kShutdown, {}, error);
+  return reply && reply->type == FrameType::kReplyOk;
+}
+
+std::optional<Json> ServeClient::cell(const CellRequest& request,
+                                      std::string* error) {
+  return roundtrip_json(FrameType::kCell, cell_request_json(request).dump(),
+                        error);
+}
+
+std::optional<Json> ServeClient::sweep(const SweepRequest& request,
+                                       std::string* error) {
+  return roundtrip_json(FrameType::kSweep,
+                        sweep_request_json(request).dump(), error);
+}
+
+}  // namespace mapg::serve

@@ -1,0 +1,65 @@
+#include "serve/coalescer.h"
+
+namespace mapg::serve {
+
+JobOutcome RequestCoalescer::run(const std::string& key,
+                                 const std::function<JobOutcome()>& compute,
+                                 bool* coalesced) {
+  std::shared_ptr<Inflight> entry;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+      entry = std::make_shared<Inflight>();
+      inflight_.emplace(key, entry);
+      leader = true;
+    } else {
+      entry = it->second;
+      ++coalesced_;
+    }
+  }
+  if (coalesced) *coalesced = !leader;
+
+  if (!leader) {
+    std::unique_lock<std::mutex> lk(entry->mu);
+    entry->cv.wait(lk, [&] { return entry->done; });
+    return entry->outcome;
+  }
+
+  JobOutcome out;
+  try {
+    out = compute();
+  } catch (const std::exception& e) {
+    out = JobOutcome{};
+    out.error = e.what();
+  } catch (...) {
+    out = JobOutcome{};
+    out.error = "unknown exception in coalesced compute";
+  }
+  {
+    // Unpublish first so a caller arriving after `done` flips starts a
+    // fresh computation instead of racing the notification.
+    std::lock_guard<std::mutex> lk(mu_);
+    inflight_.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lk(entry->mu);
+    entry->outcome = out;
+    entry->done = true;
+  }
+  entry->cv.notify_all();
+  return out;
+}
+
+std::uint64_t RequestCoalescer::coalesced_total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return coalesced_;
+}
+
+std::size_t RequestCoalescer::inflight() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return inflight_.size();
+}
+
+}  // namespace mapg::serve

@@ -1,0 +1,60 @@
+// Request coalescing: identical in-flight cache keys compute once.
+//
+// The server's tiered lookup ends in a simulation that can take seconds.
+// When N concurrent requests carry the same v4 cache key — the thundering
+// herd a popular cell produces — running N identical simulations is pure
+// waste: the engine's result cache would deduplicate the *next* request,
+// but not the ones already past the lookup.  The coalescer closes that
+// window: the first caller for a key becomes the leader and runs the
+// compute; every caller that arrives while the leader is in flight blocks
+// on its condition variable and receives the leader's outcome (a cheap
+// copy — JobOutcome carries the result by shared_ptr).
+//
+// Guarantees (tests/test_serve.cpp):
+//   * among concurrent callers of the same key, `compute` runs exactly once;
+//   * callers of distinct keys never block each other;
+//   * a leader whose compute throws still releases its followers (the
+//     outcome then carries ok == false with the exception text), and the
+//     key is removed so a later retry computes afresh.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "exec/engine.h"
+
+namespace mapg::serve {
+
+class RequestCoalescer {
+ public:
+  /// Run `compute` for `key`, or wait for the in-flight computation of the
+  /// same key and share its outcome.  `coalesced` (optional) reports
+  /// whether this call waited instead of computing.
+  JobOutcome run(const std::string& key,
+                 const std::function<JobOutcome()>& compute,
+                 bool* coalesced = nullptr);
+
+  /// Total calls that were answered by another caller's compute.
+  std::uint64_t coalesced_total() const;
+  /// Keys currently computing (for the serve.inflight gauge).
+  std::size_t inflight() const;
+
+ private:
+  struct Inflight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    JobOutcome outcome;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Inflight>> inflight_;
+  std::uint64_t coalesced_ = 0;
+};
+
+}  // namespace mapg::serve

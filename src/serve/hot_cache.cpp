@@ -1,0 +1,56 @@
+#include "serve/hot_cache.h"
+
+namespace mapg::serve {
+
+HotCache::HotCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const SimResult> HotCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->second;
+}
+
+std::shared_ptr<const SimResult> HotCache::peek(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : it->second->second;
+}
+
+void HotCache::put(const std::string& key,
+                   std::shared_ptr<const SimResult> result) {
+  if (capacity_ == 0 || result == nullptr) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(result));
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::size_t HotCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return lru_.size();
+}
+
+HotCacheStats HotCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace mapg::serve

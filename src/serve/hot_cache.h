@@ -1,0 +1,63 @@
+// In-memory hot tier: LRU-bounded shared_ptr results.
+//
+// The engine's ResultCache memory tier is unbounded by design — a batch
+// sweep touches each key once and exits.  A resident server does neither:
+// it lives for days and its working set follows request traffic, so the
+// hot tier must be bounded (LRU) and sit IN FRONT of the engine cache.  A
+// hot hit costs one mutex + map lookup and never touches the engine, the
+// disk, or the coalescer; an eviction costs nothing but the map entry,
+// because results are shared_ptr — in-flight responses keep theirs alive,
+// and a re-miss falls through to the engine's memory/disk tiers.
+//
+// Thread-safe; sized in entries (a SimResult is a few KB, so the default
+// 4096 entries ~ tens of MB).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/sim.h"
+
+namespace mapg::serve {
+
+struct HotCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+class HotCache {
+ public:
+  /// `capacity` == 0 disables the tier (every get misses, puts are dropped).
+  explicit HotCache(std::size_t capacity);
+
+  /// Look up and touch (move to most-recent); nullptr on miss.
+  std::shared_ptr<const SimResult> get(const std::string& key);
+
+  /// Stats-neutral, recency-neutral lookup (group planning probes).
+  std::shared_ptr<const SimResult> peek(const std::string& key) const;
+
+  /// Insert or refresh; evicts the least-recently-used entry past capacity.
+  void put(const std::string& key, std::shared_ptr<const SimResult> result);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  HotCacheStats stats() const;
+
+ private:
+  using LruList =
+      std::list<std::pair<std::string, std::shared_ptr<const SimResult>>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  ///< front = most recent
+  std::map<std::string, LruList::iterator> index_;
+  HotCacheStats stats_;
+};
+
+}  // namespace mapg::serve

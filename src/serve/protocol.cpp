@@ -1,0 +1,237 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace mapg::serve {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// Read exactly n bytes.  1 = ok, 0 = clean EOF before the first byte,
+/// -1 = error or EOF mid-read (truncation).
+int read_exact(int fd, void* buf, std::size_t n, std::string* error) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0) return 0;
+      if (error) *error = "truncated frame: peer closed mid-read";
+      return -1;
+    }
+    if (errno == EINTR) continue;
+    if (error) *error = std::string("read failed: ") + std::strerror(errno);
+    return -1;
+  }
+  return 1;
+}
+
+bool write_exact(int fd, const char* buf, std::size_t n, std::string* error) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::write(fd, buf + sent, n - sent);
+    if (r > 0) {
+      sent += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (error) *error = std::string("write failed: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_frame(const Frame& frame) {
+  std::string out;
+  out.reserve(kHeaderBytes + frame.payload.size());
+  put_u32(out, kMagic);
+  put_u32(out, kProtocolVersion);
+  put_u32(out, static_cast<std::uint32_t>(frame.type));
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out += frame.payload;
+  return out;
+}
+
+bool parse_header(const unsigned char header[kHeaderBytes], FrameType* type,
+                  std::uint32_t* length, std::string* error) {
+  if (get_u32(header) != kMagic) {
+    if (error) *error = "bad magic";
+    return false;
+  }
+  const std::uint32_t version = get_u32(header + 4);
+  if (version != kProtocolVersion) {
+    if (error) *error = "unsupported protocol version " +
+                        std::to_string(version);
+    return false;
+  }
+  const std::uint32_t len = get_u32(header + 12);
+  if (len > kMaxPayload) {
+    if (error) *error = "payload length " + std::to_string(len) +
+                        " exceeds limit";
+    return false;
+  }
+  *type = static_cast<FrameType>(get_u32(header + 8));
+  *length = len;
+  return true;
+}
+
+bool read_frame(int fd, Frame* frame, std::string* error) {
+  if (error) error->clear();
+  unsigned char header[kHeaderBytes];
+  const int rc = read_exact(fd, header, kHeaderBytes, error);
+  if (rc <= 0) return false;  // rc == 0: clean close, *error empty
+  std::uint32_t length = 0;
+  if (!parse_header(header, &frame->type, &length, error)) return false;
+  frame->payload.resize(length);
+  if (length > 0 &&
+      read_exact(fd, frame->payload.data(), length, error) != 1)
+    return false;
+  return true;
+}
+
+bool write_frame(int fd, const Frame& frame, std::string* error) {
+  if (frame.payload.size() > kMaxPayload) {
+    if (error) *error = "payload exceeds kMaxPayload";
+    return false;
+  }
+  const std::string bytes = encode_frame(frame);
+  return write_exact(fd, bytes.data(), bytes.size(), error);
+}
+
+// --- Request/response documents -----------------------------------------
+
+namespace {
+
+Json config_json(const std::map<std::string, std::string>& config) {
+  Json obj = Json::object();
+  for (const auto& [k, v] : config) obj[k] = Json::string(v);
+  return obj;
+}
+
+bool parse_config(const Json& doc, std::map<std::string, std::string>* out,
+                  std::string* error) {
+  out->clear();
+  const Json* cfg = doc.find("config");
+  if (cfg == nullptr) return true;  // empty config = platform defaults
+  if (!cfg->is_object()) {
+    if (error) *error = "'config' must be an object of string values";
+    return false;
+  }
+  for (const auto& [k, v] : cfg->items()) {
+    if (v.type() != Json::Type::kString) {
+      if (error) *error = "config key '" + k + "' must be a string value";
+      return false;
+    }
+    (*out)[k] = v.as_string();
+  }
+  return true;
+}
+
+bool parse_string_list(const Json& doc, const std::string& key,
+                       std::vector<std::string>* out, std::string* error) {
+  out->clear();
+  const Json* arr = doc.find(key);
+  if (arr == nullptr || !arr->is_array() || arr->size() == 0) {
+    if (error) *error = "'" + key + "' must be a non-empty array";
+    return false;
+  }
+  for (std::size_t i = 0; i < arr->size(); ++i) {
+    const Json& item = arr->at(i);
+    if (item.type() != Json::Type::kString || item.as_string().empty()) {
+      if (error) *error = "'" + key + "' entries must be non-empty strings";
+      return false;
+    }
+    out->push_back(item.as_string());
+  }
+  return true;
+}
+
+}  // namespace
+
+Json cell_request_json(const CellRequest& req) {
+  Json doc = Json::object();
+  doc["config"] = config_json(req.config);
+  doc["workload"] = Json::string(req.workload);
+  doc["policy"] = Json::string(req.policy);
+  return doc;
+}
+
+Json sweep_request_json(const SweepRequest& req) {
+  Json doc = Json::object();
+  doc["config"] = config_json(req.config);
+  Json workloads = Json::array();
+  for (const std::string& w : req.workloads) workloads.push(Json::string(w));
+  doc["workloads"] = std::move(workloads);
+  Json policies = Json::array();
+  for (const std::string& p : req.policies) policies.push(Json::string(p));
+  doc["policies"] = std::move(policies);
+  doc["seeds"] = Json::number(req.seeds);
+  return doc;
+}
+
+bool parse_cell_request(const Json& doc, CellRequest* req,
+                        std::string* error) {
+  if (!doc.is_object()) {
+    if (error) *error = "cell request must be a JSON object";
+    return false;
+  }
+  if (!parse_config(doc, &req->config, error)) return false;
+  req->workload = doc.get("workload").as_string();
+  req->policy = doc.get("policy").as_string();
+  if (req->workload.empty()) {
+    if (error) *error = "cell request needs a 'workload'";
+    return false;
+  }
+  if (req->policy.empty()) req->policy = "none";
+  return true;
+}
+
+bool parse_sweep_request(const Json& doc, SweepRequest* req,
+                         std::string* error) {
+  if (!doc.is_object()) {
+    if (error) *error = "sweep request must be a JSON object";
+    return false;
+  }
+  if (!parse_config(doc, &req->config, error)) return false;
+  if (!parse_string_list(doc, "workloads", &req->workloads, error))
+    return false;
+  if (!parse_string_list(doc, "policies", &req->policies, error))
+    return false;
+  const std::uint64_t seeds = doc.get("seeds").as_u64(1);
+  if (seeds == 0 || seeds > 4096) {
+    if (error) *error = "'seeds' must be in [1, 4096]";
+    return false;
+  }
+  req->seeds = static_cast<unsigned>(seeds);
+  return true;
+}
+
+std::string error_payload(const std::string& text) {
+  Json doc = Json::object();
+  doc["error"] = Json::string(text);
+  return doc.dump();
+}
+
+}  // namespace mapg::serve

@@ -1,0 +1,109 @@
+// Wire protocol for the resident experiment server (docs/SERVE.md).
+//
+// A connection carries a sequence of length-prefixed frames, each a 16-byte
+// little-endian header followed by `length` payload bytes:
+//
+//   offset  size  field
+//        0     4  magic    0x4750414D ("MAPG" read as bytes)
+//        4     4  version  kProtocolVersion
+//        8     4  type     FrameType
+//       12     4  length   payload bytes that follow (<= kMaxPayload)
+//
+// Payloads are canonical exec/json.h documents (the same dialect the result
+// cache persists), so a cell response body can be compared byte-for-byte
+// against result_to_json() of a local ExperimentEngine run — the identity
+// the serve tests and CI smoke assert.  Responses on one connection come
+// back in request order; there is no request id.
+//
+// Robustness contract (tests/test_serve_protocol.cpp): a reader must reject
+// bad magic, unknown versions, and over-limit lengths WITHOUT consuming the
+// payload (the connection is then unrecoverable and should be closed), and
+// must report truncation — a peer closing mid-frame — as an error, never as
+// a short success.  A malformed frame kills one connection, never the
+// server.
+//
+// Layering: serve -> exec (Json, engine types); nothing below serve may
+// depend on it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/json.h"
+
+namespace mapg::serve {
+
+inline constexpr std::uint32_t kMagic = 0x4750414D;  // "MAPG" little-endian
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Hard payload bound: a 12-workload x 16-policy x 8-seed sweep response is
+/// ~25 MB of result JSON, so 64 MiB leaves headroom while still rejecting
+/// hostile or corrupt lengths immediately.
+inline constexpr std::uint32_t kMaxPayload = 64u << 20;
+inline constexpr std::size_t kHeaderBytes = 16;
+
+enum class FrameType : std::uint32_t {
+  kPing = 1,      ///< empty payload; reply is kReplyOk with empty payload
+  kCell = 2,      ///< one experiment cell (CellRequest JSON)
+  kSweep = 3,     ///< a SweepSpec grid (SweepRequest JSON)
+  kStats = 4,     ///< server/engine/cache counters as JSON
+  kShutdown = 5,  ///< stop accepting, drain, exit the serve loop
+  kReplyOk = 100,
+  kReplyError = 101,  ///< payload {"error": "..."}
+};
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string payload;
+};
+
+/// Header + payload as raw bytes, ready to write.
+std::string encode_frame(const Frame& frame);
+
+/// Parse a 16-byte header; on success fills type/length.  Rejects bad
+/// magic/version and length > kMaxPayload.
+bool parse_header(const unsigned char header[kHeaderBytes], FrameType* type,
+                  std::uint32_t* length, std::string* error);
+
+/// Blocking full-frame read from a socket/pipe fd.  Returns false on EOF
+/// before the first header byte (clean close: *error stays empty) and on
+/// any malformed or truncated frame (*error says why).
+bool read_frame(int fd, Frame* frame, std::string* error);
+
+/// Blocking full write; false + error on a closed/failed peer.
+bool write_frame(int fd, const Frame& frame, std::string* error);
+
+// --- Request/response documents -----------------------------------------
+
+/// One experiment cell.  `config` is the textual key=value dialect of
+/// multicore/config_apply.h (the same keys mapg_sim accepts); the trace
+/// seed rides in config["seed"].  The workload must name a builtin profile.
+struct CellRequest {
+  std::map<std::string, std::string> config;
+  std::string workload;
+  std::string policy = "none";
+};
+
+/// A (workload x policy x seed) grid over one base config — the wire form
+/// of exec's SweepSpec (no variants axis: variants are client-side sugar
+/// for distinct configs).  Cells expand workload-outer / policy-mid /
+/// seed-inner, matching ExperimentEngine::expand.
+struct SweepRequest {
+  std::map<std::string, std::string> config;
+  std::vector<std::string> workloads;
+  std::vector<std::string> policies;
+  unsigned seeds = 1;
+};
+
+Json cell_request_json(const CellRequest& req);
+Json sweep_request_json(const SweepRequest& req);
+bool parse_cell_request(const Json& doc, CellRequest* req,
+                        std::string* error);
+bool parse_sweep_request(const Json& doc, SweepRequest* req,
+                         std::string* error);
+
+/// {"error": text} for kReplyError payloads.
+std::string error_payload(const std::string& text);
+
+}  // namespace mapg::serve

@@ -1,8 +1,8 @@
 // Unit + integration tests for the history-based adaptive MAPG variant.
 #include <gtest/gtest.h>
 
-#include "core/runner.h"
 #include "core/sim.h"
+#include "exec/runner.h"
 #include "pg/adaptive.h"
 #include "pg/factory.h"
 

@@ -1,0 +1,162 @@
+// Multi-process ResultCache stress: several engine PROCESSES (fork, not
+// threads) share one cache directory while an adversary overwrites entries
+// with garbage mid-run.  The cache's contract under fire:
+//   * concurrent stores of the same key from different processes are safe
+//     (atomic tmp+rename publication — no torn reads);
+//   * a corrupt entry is a miss plus a disk_error, never a crash or a wrong
+//     result — the cell is recomputed and the entry overwritten;
+//   * after the dust settles, every result equals a cache-free reference
+//     run byte for byte.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "exec/engine.h"
+#include "exec/serialize.h"
+#include "trace/profile.h"
+
+namespace mapg {
+namespace {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("mapg_test_" + tag + "_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+std::vector<ExperimentJob> stress_grid() {
+  std::vector<ExperimentJob> jobs;
+  for (const char* workload : {"mcf-like", "gcc-like"}) {
+    for (const char* policy : {"none", "mapg"}) {
+      for (std::uint64_t seed : {1, 2}) {
+        ExperimentJob job;
+        job.config.instructions = 30000;
+        job.config.warmup_instructions = 5000;
+        job.config.run_seed = seed;
+        job.profile = *find_profile(workload);
+        job.policy_spec = policy;
+        jobs.push_back(job);
+      }
+    }
+  }
+  return jobs;
+}
+
+/// Child body: run the whole grid against the shared cache dir; 0 = every
+/// cell ok.  Runs post-fork, so no gtest assertions — just an exit code.
+int child_run(const std::string& cache_dir) {
+  ExecOptions opts;
+  opts.jobs = 2;
+  opts.cache_dir = cache_dir;
+  ExperimentEngine engine(opts);
+  const std::vector<JobOutcome> outcomes = engine.run(stress_grid());
+  for (const JobOutcome& out : outcomes)
+    if (!out.ok || out.result == nullptr) return 1;
+  return 0;
+}
+
+void corrupt_file(const std::filesystem::path& path) {
+  std::ofstream os(path, std::ios::trunc);
+  os << "{\"this json never closes\": [1, 2,";
+}
+
+TEST(CacheStress, ConcurrentProcessesWithInjectedCorruption) {
+  TempDir dir("cache_stress");
+  const std::vector<ExperimentJob> jobs = stress_grid();
+
+  // Reference bytes from a cache-free engine, before any forking.
+  std::vector<std::string> reference;
+  {
+    ExecOptions opts;
+    opts.jobs = 2;
+    ExperimentEngine engine(opts);
+    for (const JobOutcome& out : engine.run(jobs)) {
+      ASSERT_TRUE(out.ok) << out.error;
+      reference.push_back(result_to_json(*out.result).dump());
+    }
+  }
+
+  std::vector<std::string> keys;
+  for (const ExperimentJob& job : jobs)
+    keys.push_back(cache_key(job.config, job.profile, job.policy_spec));
+
+  constexpr int kProcesses = 3;
+  std::vector<pid_t> children;
+  for (int i = 0; i < kProcesses; ++i) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) ::_exit(child_run(dir.str()));
+    children.push_back(pid);
+  }
+
+  // The adversary: while the children race each other storing entries,
+  // repeatedly smash published entries with garbage and drop junk files
+  // the cache never asked for.
+  for (int round = 0; round < 40; ++round) {
+    std::error_code ec;
+    if (std::filesystem::exists(dir.path(), ec)) {
+      corrupt_file(dir.path() / (keys[round % keys.size()] + ".json"));
+      corrupt_file(dir.path() / "not-a-cache-entry.json");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "child crashed";
+    EXPECT_EQ(WEXITSTATUS(status), 0) << "child saw a failed or null cell";
+  }
+
+  // Leave every entry corrupt, then prove a fresh engine survives: each
+  // corrupt read is a disk_error + miss, each cell recomputes, and the
+  // bytes match the cache-free reference exactly.
+  for (const std::string& key : keys)
+    corrupt_file(dir.path() / (key + ".json"));
+  ExecOptions opts;
+  opts.jobs = 2;
+  opts.cache_dir = dir.str();
+  ExperimentEngine engine(opts);
+  const std::vector<JobOutcome> outcomes = engine.run(jobs);
+  ASSERT_EQ(outcomes.size(), jobs.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    EXPECT_EQ(result_to_json(*outcomes[i].result).dump(), reference[i]);
+  }
+  EXPECT_GE(engine.cache().stats().disk_errors, keys.size());
+  EXPECT_EQ(engine.stats().jobs_run + engine.stats().jobs_replayed,
+            jobs.size());
+
+  // And the recomputation overwrote the smashed entries: a second fresh
+  // engine now serves everything from disk without simulating.
+  ExperimentEngine verify(opts);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobOutcome out = verify.run_one(jobs[i]);
+    ASSERT_TRUE(out.ok);
+    EXPECT_TRUE(out.from_cache);
+    EXPECT_EQ(result_to_json(*out.result).dump(), reference[i]);
+  }
+  EXPECT_EQ(verify.stats().jobs_run, 0u);
+}
+
+}  // namespace
+}  // namespace mapg

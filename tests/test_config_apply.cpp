@@ -1,7 +1,7 @@
 // Tests for the textual-config applier and the multi-seed replication API.
 #include <gtest/gtest.h>
 
-#include "core/runner.h"
+#include "exec/runner.h"
 #include "multicore/config_apply.h"
 
 namespace mapg {

@@ -3,8 +3,8 @@
 // memory speeds.
 #include <gtest/gtest.h>
 
-#include "core/runner.h"
 #include "core/sim.h"
+#include "exec/runner.h"
 #include "pg/factory.h"
 #include "pg/multimode.h"
 #include "pg/pg_controller.h"

@@ -5,8 +5,8 @@
 
 #include <vector>
 
-#include "core/runner.h"
 #include "core/sim.h"
+#include "exec/runner.h"
 #include "mem/hierarchy.h"
 #include "mem/prefetcher.h"
 

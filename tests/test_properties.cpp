@@ -5,8 +5,8 @@
 #include <string>
 #include <tuple>
 
-#include "core/runner.h"
 #include "core/sim.h"
+#include "exec/runner.h"
 #include "power/pg_circuit.h"
 
 namespace mapg {

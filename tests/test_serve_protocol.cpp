@@ -1,0 +1,241 @@
+// Wire-protocol tests (src/serve/protocol.h): frame round-trips over a real
+// fd, and the robustness contract — bad magic / version / length, garbage,
+// and truncation are rejected with an error, never a short success or a
+// crash; a clean peer close before the first header byte is NOT an error.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "serve/protocol.h"
+
+namespace mapg::serve {
+namespace {
+
+/// A unidirectional pipe standing in for the TCP socket; read_frame /
+/// write_frame only assume read()/write() semantics.
+class Pipe {
+ public:
+  Pipe() { EXPECT_EQ(::pipe(fds_), 0); }
+  ~Pipe() {
+    close_write();
+    close_read();
+  }
+  int read_fd() const { return fds_[0]; }
+  int write_fd() const { return fds_[1]; }
+  void close_write() {
+    if (fds_[1] >= 0) ::close(fds_[1]);
+    fds_[1] = -1;
+  }
+  void close_read() {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    fds_[0] = -1;
+  }
+  void write_raw(const std::string& bytes) {
+    ASSERT_EQ(::write(fds_[1], bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+TEST(ServeProtocol, FrameRoundTripOverFd) {
+  Pipe pipe;
+  const Frame sent{FrameType::kCell, R"({"workload":"mcf-like"})"};
+  std::string error;
+  ASSERT_TRUE(write_frame(pipe.write_fd(), sent, &error)) << error;
+  Frame got;
+  ASSERT_TRUE(read_frame(pipe.read_fd(), &got, &error)) << error;
+  EXPECT_EQ(got.type, sent.type);
+  EXPECT_EQ(got.payload, sent.payload);
+}
+
+TEST(ServeProtocol, EmptyPayloadRoundTrips) {
+  Pipe pipe;
+  std::string error;
+  ASSERT_TRUE(write_frame(pipe.write_fd(), Frame{FrameType::kPing, {}},
+                          &error));
+  Frame got;
+  ASSERT_TRUE(read_frame(pipe.read_fd(), &got, &error)) << error;
+  EXPECT_EQ(got.type, FrameType::kPing);
+  EXPECT_TRUE(got.payload.empty());
+}
+
+TEST(ServeProtocol, HeaderLayoutIsLittleEndianMagicFirst) {
+  const std::string bytes = encode_frame(Frame{FrameType::kStats, "abc"});
+  ASSERT_EQ(bytes.size(), kHeaderBytes + 3);
+  // kMagic = 0x4750414D stored little-endian reads "MAPG".
+  EXPECT_EQ(bytes.substr(0, 4), "MAPG");
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), kProtocolVersion);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[8]),
+            static_cast<std::uint32_t>(FrameType::kStats));
+  EXPECT_EQ(static_cast<unsigned char>(bytes[12]), 3u);  // length LE
+  EXPECT_EQ(bytes.substr(kHeaderBytes), "abc");
+}
+
+TEST(ServeProtocol, ParseHeaderRejectsBadMagic) {
+  std::string bytes = encode_frame(Frame{FrameType::kPing, {}});
+  bytes[0] = 'X';
+  FrameType type;
+  std::uint32_t length = 0;
+  std::string error;
+  EXPECT_FALSE(parse_header(
+      reinterpret_cast<const unsigned char*>(bytes.data()), &type, &length,
+      &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(ServeProtocol, ParseHeaderRejectsUnknownVersion) {
+  std::string bytes = encode_frame(Frame{FrameType::kPing, {}});
+  bytes[4] = 99;
+  FrameType type;
+  std::uint32_t length = 0;
+  std::string error;
+  EXPECT_FALSE(parse_header(
+      reinterpret_cast<const unsigned char*>(bytes.data()), &type, &length,
+      &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(ServeProtocol, ParseHeaderRejectsOversizedLength) {
+  std::string bytes = encode_frame(Frame{FrameType::kPing, {}});
+  // length field = kMaxPayload + 1, little-endian at offset 12.
+  const std::uint32_t huge = kMaxPayload + 1;
+  std::memcpy(bytes.data() + 12, &huge, 4);
+  FrameType type;
+  std::uint32_t length = 0;
+  std::string error;
+  EXPECT_FALSE(parse_header(
+      reinterpret_cast<const unsigned char*>(bytes.data()), &type, &length,
+      &error));
+  EXPECT_NE(error.find("exceeds"), std::string::npos);
+}
+
+TEST(ServeProtocol, ReadFrameRejectsGarbageStream) {
+  Pipe pipe;
+  pipe.write_raw("this is not a MAPG frame header, not even close");
+  pipe.close_write();
+  Frame got;
+  std::string error;
+  EXPECT_FALSE(read_frame(pipe.read_fd(), &got, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeProtocol, ReadFrameReportsTruncatedPayload) {
+  Pipe pipe;
+  const std::string bytes =
+      encode_frame(Frame{FrameType::kCell, std::string(100, 'x')});
+  pipe.write_raw(bytes.substr(0, kHeaderBytes + 10));  // peer dies mid-frame
+  pipe.close_write();
+  Frame got;
+  std::string error;
+  EXPECT_FALSE(read_frame(pipe.read_fd(), &got, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST(ServeProtocol, ReadFrameReportsTruncatedHeader) {
+  Pipe pipe;
+  pipe.write_raw(encode_frame(Frame{FrameType::kPing, {}}).substr(0, 7));
+  pipe.close_write();
+  Frame got;
+  std::string error;
+  EXPECT_FALSE(read_frame(pipe.read_fd(), &got, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeProtocol, CleanEofIsNotAnError) {
+  Pipe pipe;
+  pipe.close_write();  // peer closed between frames
+  Frame got;
+  std::string error = "sentinel";
+  EXPECT_FALSE(read_frame(pipe.read_fd(), &got, &error));
+  EXPECT_TRUE(error.empty());  // read_frame clears it: clean close
+}
+
+TEST(ServeProtocol, WriteFrameRejectsOversizedPayload) {
+  Pipe pipe;
+  Frame huge{FrameType::kCell, {}};
+  huge.payload.resize(kMaxPayload + 1);
+  std::string error;
+  EXPECT_FALSE(write_frame(pipe.write_fd(), huge, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeProtocol, CellRequestJsonRoundTrip) {
+  CellRequest req;
+  req.config = {{"instructions", "50000"}, {"l2.size_kib", "2048"}};
+  req.workload = "lbm-like";
+  req.policy = "mapg:alpha=1.5";
+  CellRequest back;
+  std::string error;
+  ASSERT_TRUE(parse_cell_request(cell_request_json(req), &back, &error))
+      << error;
+  EXPECT_EQ(back.config, req.config);
+  EXPECT_EQ(back.workload, req.workload);
+  EXPECT_EQ(back.policy, req.policy);
+}
+
+TEST(ServeProtocol, SweepRequestJsonRoundTrip) {
+  SweepRequest req;
+  req.config = {{"seed", "7"}};
+  req.workloads = {"mcf-like", "gcc-like"};
+  req.policies = {"none", "mapg", "oracle"};
+  req.seeds = 3;
+  SweepRequest back;
+  std::string error;
+  ASSERT_TRUE(parse_sweep_request(sweep_request_json(req), &back, &error))
+      << error;
+  EXPECT_EQ(back.config, req.config);
+  EXPECT_EQ(back.workloads, req.workloads);
+  EXPECT_EQ(back.policies, req.policies);
+  EXPECT_EQ(back.seeds, req.seeds);
+}
+
+TEST(ServeProtocol, ParseCellRejectsMissingWorkload) {
+  CellRequest req;
+  std::string error;
+  EXPECT_FALSE(parse_cell_request(*Json::parse(R"({"policy":"mapg"})"),
+                                  &req, &error));
+  EXPECT_NE(error.find("workload"), std::string::npos);
+}
+
+TEST(ServeProtocol, ParseCellRejectsNonStringConfigValue) {
+  CellRequest req;
+  std::string error;
+  EXPECT_FALSE(parse_cell_request(
+      *Json::parse(R"({"workload":"mcf-like","config":{"seed":7}})"), &req,
+      &error));
+  EXPECT_NE(error.find("string"), std::string::npos);
+}
+
+TEST(ServeProtocol, ParseCellDefaultsPolicyToNone) {
+  CellRequest req;
+  std::string error;
+  ASSERT_TRUE(parse_cell_request(*Json::parse(R"({"workload":"mcf-like"})"),
+                                 &req, &error))
+      << error;
+  EXPECT_EQ(req.policy, "none");
+}
+
+TEST(ServeProtocol, ParseSweepRejectsEmptyAxesAndBadSeeds) {
+  SweepRequest req;
+  std::string error;
+  EXPECT_FALSE(parse_sweep_request(
+      *Json::parse(R"({"workloads":[],"policies":["none"]})"), &req,
+      &error));
+  EXPECT_FALSE(parse_sweep_request(
+      *Json::parse(R"({"workloads":["mcf-like"],"policies":["none"],)"
+                   R"("seeds":0})"),
+      &req, &error));
+  EXPECT_FALSE(parse_sweep_request(
+      *Json::parse(R"({"workloads":["mcf-like"],"policies":["none"],)"
+                   R"("seeds":100000})"),
+      &req, &error));
+  EXPECT_NE(error.find("seeds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mapg::serve

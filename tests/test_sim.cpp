@@ -5,8 +5,8 @@
 
 #include <stdexcept>
 
-#include "core/runner.h"
 #include "core/sim.h"
+#include "exec/runner.h"
 #include "trace/trace_io.h"
 
 namespace mapg {
