@@ -5,6 +5,10 @@
 #
 #   scripts/bench_report.sh [build_dir] [replay|serve|all] [extra bench args...]
 #
+# BENCH_replay.json carries the resume-aware census: replayed /
+# prefix_resumes / full_fallbacks cell counts, windows_saved, and the
+# checkpoint_stride in effect (docs/MODEL.md §4b-4c).
+#
 # e.g.  scripts/bench_report.sh                      # build/, replay, tab1 axis
 #       scripts/bench_report.sh build serve          # serving QPS -> BENCH_serve.json
 #       scripts/bench_report.sh build all            # both records

@@ -3,9 +3,12 @@
 #
 #   scripts/update_goldens.sh [build_dir]
 #
-# Builds test_golden, reruns every table cell with MAPG_UPDATE_GOLDENS=1,
-# and splices the freshly printed rows between the GOLDEN-BEGIN/GOLDEN-END
-# markers.  Run this ONLY after an intentional model change, then regenerate
+# Builds test_golden, reruns every pinned table with MAPG_UPDATE_GOLDENS=1,
+# and splices the freshly printed rows between the marker comments:
+#   GOLDEN-BEGIN/GOLDEN-END            result table (Golden.PinnedResultTable)
+#   CKPT-GOLDEN-BEGIN/CKPT-GOLDEN-END  checkpoint fingerprints
+#                                      (Golden.CheckpointFingerprintsFrozen)
+# Run this ONLY after an intentional model change, then regenerate
 # EXPERIMENTS.md and re-run the full suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,25 +24,38 @@ cmake --build "$BUILD" --target test_golden -j
 ROWS="$(mktemp)"
 trap 'rm -f "$ROWS"' EXIT
 
-# Only the regeneration output lines are source-literal rows: '      {"...'.
-MAPG_UPDATE_GOLDENS=1 "$BUILD"/tests/test_golden \
-    --gtest_filter='Golden.PinnedResultTable' |
-  grep -E '^[[:space:]]*\{"' > "$ROWS"
+# splice TEST_FILTER ROW_REGEX BEGIN_MARKER END_MARKER
+# Reruns one regeneration-mode test, keeps only its source-literal rows,
+# and swaps them in between the marker comments (anchored on the markers
+# themselves, not prose mentioning them).
+splice() {
+  local filter="$1" row_re="$2" begin="$3" end="$4"
+  MAPG_UPDATE_GOLDENS=1 "$BUILD"/tests/test_golden \
+      --gtest_filter="$filter" |
+    grep -E "$row_re" > "$ROWS"
 
-N="$(wc -l < "$ROWS")"
-if [ "$N" -eq 0 ]; then
-  echo "error: regeneration produced no rows" >&2
-  exit 1
-fi
+  local n
+  n="$(wc -l < "$ROWS")"
+  if [ "$n" -eq 0 ]; then
+    echo "error: $filter regeneration produced no rows" >&2
+    exit 1
+  fi
 
-# Anchor on the marker comments themselves (not prose mentioning them).
-awk -v rows="$ROWS" '
-  /^[[:space:]]*\/\/ GOLDEN-BEGIN/ {
-    print; while ((getline line < rows) > 0) print line; skipping = 1; next }
-  /^[[:space:]]*\/\/ GOLDEN-END/ { skipping = 0 }
-  !skipping { print }
-' "$SRC" > "$SRC.tmp"
-mv "$SRC.tmp" "$SRC"
+  awk -v rows="$ROWS" -v begin="$begin" -v end="$end" '
+    $0 ~ ("^[[:space:]]*// " begin) {
+      print; while ((getline line < rows) > 0) print line; skipping = 1; next }
+    $0 ~ ("^[[:space:]]*// " end) { skipping = 0 }
+    !skipping { print }
+  ' "$SRC" > "$SRC.tmp"
+  mv "$SRC.tmp" "$SRC"
+  echo "spliced $n rows ($filter) into $SRC"
+}
 
-echo "spliced $N golden rows into $SRC; rebuild and re-run the suite:"
+# Result-table rows look like '      {"...'; checkpoint rows like '      {25000u, ...'.
+splice 'Golden.PinnedResultTable' '^[[:space:]]*\{"' \
+       'GOLDEN-BEGIN' 'GOLDEN-END'
+splice 'Golden.CheckpointFingerprintsFrozen' '^[[:space:]]*\{[0-9]' \
+       'CKPT-GOLDEN-BEGIN' 'CKPT-GOLDEN-END'
+
+echo "rebuild and re-run the suite:"
 echo "  cmake --build $BUILD --target test_golden -j && $BUILD/tests/test_golden"

@@ -51,6 +51,35 @@ struct EpochSnap {
   }
 };
 
+/// Single-pass recording source: materializes the generator's stream into a
+/// buffer WHILE the core consumes it, instead of generating the full trace
+/// up front and re-reading it.  The stream the core sees is byte-identical
+/// to the generator's (each next() forwards one instruction verbatim), and
+/// the buffer ends up holding exactly the consumed prefix — which is exactly
+/// warmup + measured instructions, the complete stream every policy sees.
+/// Saves one full generate-then-reread pass per recording (the dominant
+/// recording overhead; see bench/micro_replay_speedup.cpp).
+class TeeTraceSource final : public TraceSource {
+ public:
+  TeeTraceSource(TraceGenerator& gen, std::vector<Instr>& buf)
+      : gen_(gen), buf_(buf) {}
+
+  bool next(Instr& out) override {
+    if (!gen_.next(out)) return false;
+    buf_.push_back(out);
+    return true;
+  }
+  void reset() override {
+    // Single-pass by construction: run_impl never rewinds its source.
+    buf_.clear();
+    gen_.reset();
+  }
+
+ private:
+  TraceGenerator& gen_;
+  std::vector<Instr>& buf_;
+};
+
 }  // namespace
 
 StallKernelParams make_stall_kernel_params(const SimConfig& config,
@@ -108,21 +137,16 @@ SimResult Simulator::run(TraceSource& trace, const std::string& workload_name,
 
 SimResult Simulator::run_recorded(const WorkloadProfile& profile,
                                   const std::string& policy_spec,
-                                  RunRecord& record) const {
-  // Materialize the trace up front: generation is a pure function of
-  // (profile, run_seed) and the core consumes exactly warmup + measured
-  // instructions, so the buffer is the complete stream every policy sees.
+                                  RunRecord& record,
+                                  const CheckpointHook& hook) const {
+  // The trace is materialized in the same pass that runs it (TeeTraceSource
+  // above): generation is a pure function of (profile, run_seed) and the
+  // core consumes exactly warmup + measured instructions, so the buffer
+  // ends the run holding the complete stream every policy sees.
   auto buf = std::make_shared<std::vector<Instr>>();
-  {
-    const std::uint64_t total =
-        config_.warmup_instructions + config_.instructions;
-    buf->reserve(static_cast<std::size_t>(total));
-    TraceGenerator gen(profile, config_.run_seed);
-    Instr instr;
-    for (std::uint64_t i = 0; i < total && gen.next(instr); ++i)
-      buf->push_back(instr);
-  }
-  record.trace = buf;
+  buf->reserve(
+      static_cast<std::size_t>(config_.warmup_instructions +
+                               config_.instructions));
   record.warmup_stalls.clear();
   record.stalls.clear();
 
@@ -131,13 +155,17 @@ SimResult Simulator::run_recorded(const WorkloadProfile& profile,
   std::unique_ptr<PgPolicy> policy = make_policy(policy_spec, ctx);
   if (!policy)
     throw std::invalid_argument("unknown policy spec: " + policy_spec);
-  SharedTraceView view(buf);
-  return run_impl(view, profile.name, *policy, &record);
+  TraceGenerator gen(profile, config_.run_seed);
+  TeeTraceSource tee(gen, *buf);
+  SimResult result = run_impl(tee, profile.name, *policy, &record, hook);
+  record.trace = std::move(buf);
+  return result;
 }
 
 SimResult Simulator::run_impl(TraceSource& trace,
                               const std::string& workload_name,
-                              PgPolicy& policy, RunRecord* record) const {
+                              PgPolicy& policy, RunRecord* record,
+                              const CheckpointHook& hook) const {
   MAPG_OBS_SCOPED_TIMER("sim.run.ns", "sim");
   const PgCircuit circuit(config_.pg, config_.tech);
   MemoryHierarchy mem(config_.mem);
@@ -154,21 +182,57 @@ SimResult Simulator::run_impl(TraceSource& trace,
   Core core(config_.core, mem, handler);
   core.set_step_mode(kparams.mode);
 
+  // Checkpointed recording chunks each phase's core.run at absolute-stride
+  // boundaries and fires the hook between instructions.  core.run is a
+  // plain resumable loop, so the chunked run is bit-identical to a single
+  // call (run_thermal's epoch loop relies on the same property; the
+  // checkpoint differential proves it per stride).
+  const std::uint64_t stride =
+      (record != nullptr && hook) ? config_.checkpoint_stride : 0;
+  auto run_phase = [&](std::uint64_t phase_instrs, std::uint64_t phase_base,
+                       bool in_warmup) {
+    if (stride == 0) {
+      core.run(trace, phase_instrs);
+      return;
+    }
+    std::uint64_t done = 0;
+    while (done < phase_instrs) {
+      const std::uint64_t abs = phase_base + done;
+      const std::uint64_t next_mark = (abs / stride + 1) * stride;
+      const std::uint64_t chunk =
+          std::min(phase_instrs - done, next_mark - abs);
+      const std::uint64_t before = core.stats().instrs;
+      core.run(trace, chunk);
+      const std::uint64_t executed = core.stats().instrs - before;
+      done += executed;
+      if (executed < chunk) break;  // trace exhausted
+      // Interior marks only: a mark at the phase end is either superseded
+      // by the post-reset warmup-boundary capture or has nothing left to
+      // resume into.
+      if (phase_base + done == next_mark && done < phase_instrs)
+        hook(core, mem, phase_base + done, in_warmup);
+    }
+  };
+
   // Warmup: populate caches, open DRAM rows, and let streams reach steady
   // state before measurement.  Gating runs during warmup too (so PG state is
   // realistic), but its statistics are discarded.
   if (config_.warmup_instructions > 0) {
-    core.run(trace, config_.warmup_instructions);
+    run_phase(config_.warmup_instructions, 0, true);
     // Classify warmup idle before the reset so the measured residency
     // counters cover exactly the measured window.
     mem.dram().settle_power(core.now());
     core.reset_stats();
     mem.reset_stats();
     controller.reset_stats();
+    // The most valuable checkpoint: captured after the boundary resets, so
+    // resuming from it skips the whole warmup for any policy penalized only
+    // in the measured phase.
+    if (stride > 0) hook(core, mem, config_.warmup_instructions, false);
   }
   if (record != nullptr) recorder.set_sink(record->stalls);
 
-  core.run(trace, config_.instructions);
+  run_phase(config_.instructions, config_.warmup_instructions, false);
   mem.dram().settle_power(core.now());
 
   SimResult result;

@@ -55,7 +55,9 @@ ExperimentEngine::ExperimentEngine(ExecOptions options)
          {"exec.jobs.run", "exec.jobs.cached", "exec.jobs.failed",
           "exec.jobs.replayed", "exec.cache.mem_hit", "exec.cache.disk_hit",
           "exec.cache.miss", "exec.cache.store", "sim.replay.timelines",
-          "sim.replay.windows", "sim.replay.cells", "sim.replay.fallbacks"})
+          "sim.replay.windows", "sim.replay.cells",
+          "sim.replay.full_fallbacks", "sim.replay.prefix_resumes",
+          "sim.replay.windows_saved"})
       reg.counter(name);
   })
   if (!options_.log_jsonl.empty()) {
@@ -153,6 +155,7 @@ void ExperimentEngine::account(const ExperimentJob& job,
                           .add("seed", job.config.run_seed)
                           .add("cached", out.from_cache)
                           .add("replayed", out.from_replay)
+                          .add("resumed", out.from_resume)
                           .add("ok", out.ok)
                           .json());
       const CacheStatsSnapshot cs = cache_->stats();
@@ -185,6 +188,7 @@ void ExperimentEngine::log_job(const ExperimentJob& job,
   line["ok"] = Json::boolean(outcome.ok);
   line["cached"] = Json::boolean(outcome.from_cache);
   line["replayed"] = Json::boolean(outcome.from_replay);
+  line["resumed"] = Json::boolean(outcome.from_resume);
   line["wall_ms"] = Json::number(outcome.wall_ms);
   if (!outcome.ok) line["error"] = Json::string(outcome.error);
   std::lock_guard<std::mutex> lk(mu_);
@@ -378,9 +382,33 @@ void ExperimentEngine::run_group(const std::vector<ExperimentJob>& jobs,
       replay_threw = true;  // e.g. bad spec — direct path reports the error
     }
     if (!replayed.ok) {
+      // The prefix before the first penalized window is still exact:
+      // resume direct simulation from the latest checkpoint inside it
+      // (replay/checkpoint.h) instead of re-simulating from cycle 0.
+      if (!replay_threw && !timeline.checkpoints.empty() &&
+          replayed.windows > 0) {
+        ResumeOutcome resumed =
+            resume_policy(timeline, job.policy_spec, replayed.windows - 1);
+        if (resumed.ok) {
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.replay_prefix_resumes;
+            stats_.replay_windows_saved += resumed.windows_replayed;
+          }
+          JobOutcome out;
+          out.result = cache_->store(key, std::move(resumed.result));
+          out.ok = true;
+          out.from_resume = true;
+          out.wall_ms = now_ms() - t0;
+          account(job, key, out, 0);
+          outcomes[c] = std::move(out);
+          continue;
+        }
+      }
       if (!replay_threw) {
         std::lock_guard<std::mutex> lk(mu_);
         ++stats_.replay_fallbacks;
+        MAPG_OBS_COUNTER_INC("sim.replay.full_fallbacks");
       }
       outcomes[c] = execute(job, timeline.record.trace);
       continue;

@@ -38,7 +38,13 @@ namespace mapg {
 /// unchanged; the bump draws a provenance boundary — every cached result
 /// from v4 on was produced (or could have been produced) by the replay
 /// engine, and caches written before it are never matched again.
-inline constexpr int kExecSchemaVersion = 4;
+/// v5: checkpoint + prefix-resume (src/replay/checkpoint.h).
+/// SimConfig::checkpoint_stride joined the experiment identity — resumed
+/// cells are bit-identical for any stride (tests/test_checkpoint.cpp), but
+/// the knob follows the fast_forward precedent: equivalences stay
+/// falsifiable, never assumed by the cache.  The bump is also the
+/// prefix-resume provenance boundary.
+inline constexpr int kExecSchemaVersion = 5;
 
 // --- Results ---
 Json result_to_json(const SimResult& r);

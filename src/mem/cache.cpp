@@ -187,4 +187,25 @@ void Cache::flush() {
   stamp_ = 0;
 }
 
+Cache::State Cache::export_state() const {
+  State s;
+  s.lines = lines_;
+  s.plru_bits = plru_bits_;
+  s.stamp = stamp_;
+  s.victim_prng = victim_prng_.state();
+  s.stats = stats_;
+  return s;
+}
+
+void Cache::import_state(const State& s) {
+  assert(s.lines.size() == lines_.size() &&
+         s.plru_bits.size() == plru_bits_.size() &&
+         "checkpoint was captured under a different CacheConfig");
+  lines_ = s.lines;
+  plru_bits_ = s.plru_bits;
+  stamp_ = s.stamp;
+  victim_prng_.set_state(s.victim_prng);
+  stats_ = s.stats;
+}
+
 }  // namespace mapg

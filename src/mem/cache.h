@@ -56,6 +56,28 @@ struct CacheStats {
 
 class Cache {
  public:
+  /// One cache line's tag state.  Public because it is part of Cache::State.
+  struct Line {
+    Addr tag = kNoAddr;
+    bool valid = false;
+    bool dirty = false;
+    bool prefetched = false;  ///< filled by fill(), not yet demand-touched
+    std::uint64_t lru_stamp = 0;  ///< larger = more recently used
+  };
+
+  /// Complete mutable state: every line (tags, dirty/prefetch bits, LRU
+  /// stamps), the tree-PLRU bits, the global stamp counter, the random-
+  /// victim PRNG stream, and the statistics.  import_state() requires a
+  /// Cache constructed with the same CacheConfig; round-trips bit-exactly
+  /// (src/replay/checkpoint.h).
+  struct State {
+    std::vector<Line> lines;
+    std::vector<std::uint8_t> plru_bits;
+    std::uint64_t stamp = 0;
+    Prng::State victim_prng{};
+    CacheStats stats;
+  };
+
   struct AccessResult {
     bool hit = false;
     bool writeback = false;   ///< a dirty victim must be written downstream
@@ -81,6 +103,9 @@ class Cache {
   /// Drop every line (used between experiment repetitions).
   void flush();
 
+  State export_state() const;
+  void import_state(const State& s);
+
   const CacheConfig& config() const { return config_; }
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CacheStats{}; }
@@ -88,14 +113,6 @@ class Cache {
   Addr line_addr(Addr addr) const { return addr & ~line_mask_; }
 
  private:
-  struct Line {
-    Addr tag = kNoAddr;
-    bool valid = false;
-    bool dirty = false;
-    bool prefetched = false;  ///< filled by fill(), not yet demand-touched
-    std::uint64_t lru_stamp = 0;  ///< larger = more recently used
-  };
-
   std::uint64_t set_index(Addr addr) const;
   Addr tag_of(Addr addr) const;
   std::uint32_t choose_victim(std::uint64_t set);

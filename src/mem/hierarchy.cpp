@@ -27,6 +27,33 @@ MemoryHierarchy::MemoryHierarchy(HierarchyConfig config, Cache& shared_l2,
          "shared L2 line size must match the private L1");
 }
 
+MemoryHierarchy::State MemoryHierarchy::export_state() const {
+  assert(owns_l2_and_dram() &&
+         "checkpointing is defined for the single-core owning hierarchy");
+  State s;
+  s.l1 = l1_.export_state();
+  s.l2 = l2_->export_state();
+  s.dram = dram_->export_state();
+  s.prefetcher = prefetcher_.export_state();
+  s.stats = stats_;
+  s.inflight = inflight_;
+  return s;
+}
+
+void MemoryHierarchy::import_state(const State& s) {
+  assert(owns_l2_and_dram() &&
+         "checkpointing is defined for the single-core owning hierarchy");
+  l1_.import_state(s.l1);
+  l2_->import_state(s.l2);
+  dram_->import_state(s.dram);
+  prefetcher_.import_state(s.prefetcher);
+  stats_ = s.stats;
+  // A copied merge table may hash into different buckets, but no simulator
+  // output depends on its iteration order: lookups are keyed and
+  // prune_inflight's erase order does not affect the surviving set.
+  inflight_ = s.inflight;
+}
+
 void MemoryHierarchy::prune_inflight(Cycle now) {
   // The merge table tracks at most the core's MLP window worth of fills, so
   // a linear sweep is cheap; erase fills whose data has already returned.

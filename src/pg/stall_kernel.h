@@ -19,6 +19,16 @@
 // identical StallWindowOutcome integer fields and identical policy/arbiter
 // call sequences for every event; window_energy_j agrees to floating-point
 // tolerance (closed-form products vs per-cycle summation).
+//
+// Checkpoint anchor contract (src/replay/checkpoint.h, docs/MODEL.md §4c):
+// neither kernel carries mutable state ACROSS windows — each resolution is a
+// pure function of (StallEvent, GateDecision, StallKernelParams).  In
+// particular the refresh-occupancy meter is anchored in ABSOLUTE time
+// (windows at multiples of t_refi, same recurrence as Dram::skip_refresh),
+// never in elapsed-since-last-window time.  This is what makes a
+// prefix-resumed controller exact: rebuilding it by feeding the recorded
+// event prefix reproduces byte-identical state, with no hidden phase to
+// restore.  tests/test_checkpoint.cpp falsifies this window by window.
 #pragma once
 
 #include <memory>

@@ -1,0 +1,112 @@
+// Architectural checkpoints + prefix-resume for penalized replay cells.
+//
+// replay_policy (replay.h) reconstitutes a cell only when EVERY window
+// resolves penalty-free; one penalized window voids the equivalence and the
+// cell used to re-simulate from cycle 0.  But the equivalence does not die
+// at the run level — it dies at the first penalized window.  Everything
+// before timeline position k is still bit-identical to the reference, so a
+// direct simulation may begin at any recorded point <= k instead of at 0.
+//
+// While the `none` reference is being recorded, record_timeline captures a
+// SimCheckpoint every config.checkpoint_stride instructions (and at the
+// warmup boundary): the complete mutable state of the core and the memory
+// hierarchy, frozen between instructions.  What must be inside, and why
+// (docs/MODEL.md §4c gives the full equivalence argument):
+//
+//   - Core: clock, issue slot, scoreboard, outstanding-miss pool, stats
+//     (incl. histogram/moments) — CoreStats.cycles is relative to
+//     stats_base, so both travel together.
+//   - Caches: tags, dirty/prefetch bits, LRU stamps + PLRU bits + the
+//     random-victim PRNG stream, per level.
+//   - MSHR merge table: whether a later access merges (and thus skips tag
+//     access entirely) depends on it — dropping it perturbs tag state.
+//   - DRAM: bank open rows / ready / tRAS anchors, bus occupancy, and the
+//     low-power anchors (idle_from / accounted_until) that determine both
+//     residency classification and the tXP/tXS exit penalty a post-resume
+//     access pays.  Refresh needs NO anchor: Dram::skip_refresh and the
+//     stall kernels' refresh meter are anchored at absolute tREFI
+//     multiples, so restoring the clock restores refresh alignment.
+//   - PRNG streams: the trace generator's stream is NOT here — the
+//     materialized trace buffer plus a seek position replaces it exactly.
+//
+// The PgController is deliberately NOT serialized: controller state is a
+// pure deterministic function of the StallEvent sequence (stall_kernel.h
+// anchor contract), so the resume path rebuilds it by feeding the recorded
+// event prefix [0, checkpoint.windows) through a fresh controller — the
+// same construction replay_policy uses, including the stats reset at the
+// warmup boundary.
+//
+// resume_policy() then seeks the shared trace to the checkpoint position
+// and continues DIRECT simulation to the end, replicating run_impl's phase
+// sequence (warmup remainder, settle_power, resets, measured phase) from
+// the restore point on.  tests/test_checkpoint.cpp proves resume-at-k
+// byte-identical (full SimResult JSON) to the from-zero run for every
+// checkpoint index, including DRAM power-down configs.
+//
+// Layering: exec -> replay -> core.  Nothing in core depends on replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/sim.h"
+
+namespace mapg {
+
+struct StallTimeline;  // replay.h (which includes this header)
+
+/// One architectural checkpoint of a recording run, frozen between
+/// instructions.  `windows` is the number of stall events already emitted
+/// (warmup + measured) — the prefix a resumed controller must be fed, and
+/// the eligibility bound: the checkpoint is a valid resume point for a
+/// policy whose first penalized window has index >= windows.
+struct SimCheckpoint {
+  std::uint64_t instr_pos = 0;  ///< absolute instructions consumed
+  std::uint64_t windows = 0;    ///< stall events emitted before capture
+  bool in_warmup = false;       ///< warmup boundary not yet crossed
+  Core::State core;
+  MemoryHierarchy::State mem;
+};
+
+/// Snapshot `core` + `mem` into a checkpoint (Simulator::CheckpointHook
+/// adapter; record_timeline supplies the event count from its sinks).
+SimCheckpoint capture_checkpoint(const Core& core, const MemoryHierarchy& mem,
+                                 std::uint64_t instr_pos, bool in_warmup,
+                                 std::uint64_t windows);
+
+/// FNV-1a over a canonical little-endian byte encoding of EVERY checkpoint
+/// field, in a fixed order.  tests/test_golden.cpp pins it so silent
+/// state-layout or capture-semantics drift fails CI instead of corrupting
+/// resumes.
+std::uint64_t checkpoint_fingerprint(const SimCheckpoint& ck);
+
+struct ResumeOutcome {
+  /// true: `result` is bit-identical to a from-zero direct run of the
+  /// policy.  false: no checkpoint at or before the first penalized window
+  /// exists (or none that saves work) — the caller falls back to a full
+  /// direct simulation.
+  bool ok = false;
+  std::uint64_t from_instr = 0;        ///< checkpoint position resumed from
+  std::uint64_t windows_replayed = 0;  ///< prefix events fed, not simulated
+  SimResult result;                    ///< valid only when ok
+};
+
+/// Resume `policy_spec` from the latest checkpoint whose event count is
+/// <= `max_prefix_windows` — the number of penalty-free windows a failed
+/// replay_policy observed before bailing (ReplayOutcome::windows - 1).
+/// Throws std::invalid_argument on an unknown spec.  Increments the
+/// sim.replay.prefix_resumes / sim.replay.windows_saved obs counters on
+/// success.
+ResumeOutcome resume_policy(const StallTimeline& timeline,
+                            const std::string& policy_spec,
+                            std::uint64_t max_prefix_windows);
+
+/// Resume from one specific checkpoint (the differential test's backbone;
+/// resume_policy routes through this).  Precondition: every recorded event
+/// with index < ck.windows resolves penalty-free under the policy —
+/// resume_policy guarantees it via the failed replay's bail index.
+SimResult resume_from_checkpoint(const StallTimeline& timeline,
+                                 const SimCheckpoint& ck,
+                                 const std::string& policy_spec);
+
+}  // namespace mapg

@@ -22,16 +22,23 @@
 // it goes.  The first penalized window voids the equivalence — a penalty
 // shifts all later timing, refresh alignment, and DRAM state — so the
 // replayer bails out (ReplayOutcome::ok == false) and the caller falls back
-// to direct simulation for that cell.  tests/test_replay.cpp proves replay
-// == direct JSON-identical for eligible cells and byte-identical fallback.
+// to direct simulation for that cell.  The fallback no longer has to start
+// from cycle 0: record_timeline also captures periodic architectural
+// checkpoints, and resume_policy (replay/checkpoint.h) continues direct
+// simulation from the latest checkpoint before the first penalized window.
+// tests/test_replay.cpp proves replay == direct JSON-identical for eligible
+// cells and byte-identical fallback; tests/test_checkpoint.cpp proves the
+// same for prefix-resume at every checkpoint index.
 //
 // Layering: exec -> replay -> core.  Nothing in core depends on replay.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/sim.h"
+#include "replay/checkpoint.h"
 
 namespace mapg {
 
@@ -43,6 +50,10 @@ struct StallTimeline {
   WorkloadProfile profile;
   RunRecord record;
   std::shared_ptr<const SimResult> reference;
+  /// Architectural checkpoints captured during the recording run, in
+  /// instruction order: one at every config.checkpoint_stride boundary plus
+  /// one at the warmup boundary (post-reset).  Empty when the stride is 0.
+  std::vector<SimCheckpoint> checkpoints;
 };
 
 /// Run the `none` reference once and capture the timeline.  Deterministic
@@ -63,7 +74,9 @@ struct ReplayOutcome {
 
 /// Replay the timeline under `policy_spec`.  Throws std::invalid_argument
 /// on an unknown spec (same contract as Simulator::run).  Increments the
-/// sim.replay.{windows,cells,fallbacks} obs counters.
+/// sim.replay.{windows,cells} obs counters; fallback accounting is the
+/// caller's job (it alone knows whether a prefix-resume saved the cell or
+/// a full from-zero simulation was needed — sim.replay.full_fallbacks).
 ReplayOutcome replay_policy(const StallTimeline& timeline,
                             const std::string& policy_spec);
 

@@ -13,6 +13,7 @@
 
 #include "core/sim.h"
 #include "exec/serialize.h"
+#include "multicore/multicore.h"
 #include "replay/replay.h"
 #include "trace/profile.h"
 
@@ -37,6 +38,10 @@ Sample draw(std::mt19937_64& rng) {
   s.cfg.instructions = pick_u(10'000, 25'000);
   s.cfg.warmup_instructions = pick_u(0, 4'000);
   s.cfg.run_seed = pick_u(0, 1'000'000);
+  // Checkpoint capture cadence (replay/checkpoint.h): off half the time,
+  // else a stride that lands several checkpoints inside the run.  Inert for
+  // direct simulation; the resume fuzz below exercises it.
+  s.cfg.checkpoint_stride = pick_u(0, 1) == 0 ? 0 : pick_u(500, 6'000);
 
   // Core shape.
   s.cfg.core.issue_width = static_cast<std::uint32_t>(pick_u(1, 4));
@@ -226,6 +231,120 @@ TEST(RandomConfigs, ReplayEquivalenceSweep) {
           << what;
       check_invariants(out.result, what + " [replayed]");
     }
+  }
+}
+
+// Checkpoint + prefix-resume corners over the randomized space: random
+// strides, random first-penalized-window positions (an idle-timeout
+// threshold drawn across its transition band, over random cache shapes and
+// workloads, moves the first penalty anywhere from window 0 to "never"),
+// and the DRAM power-down / self-refresh straddles draw() already emits.
+// For every eligible checkpoint, resuming there must reproduce the
+// from-zero run bit-for-bit; resume_policy must pick an eligible
+// checkpoint or refuse.
+TEST(RandomConfigs, CheckpointResumeFuzz) {
+  std::mt19937_64 rng(0x434b5054u);  // "CKPT"
+  auto pick_u = [&rng](std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(rng);
+  };
+  constexpr int kSamples = 10;
+  for (int i = 0; i < kSamples; ++i) {
+    Sample s = draw(rng);
+    s.cfg.fast_forward = true;  // the replay engine's operating mode
+    if (s.cfg.checkpoint_stride == 0)
+      s.cfg.checkpoint_stride = pick_u(500, 3'000);
+    // Small random caches raise the stall density, and a threshold drawn
+    // across the reactive timer's transition band randomizes where the
+    // first penalized window lands.
+    s.cfg.mem.l1d.size_bytes = 1024u << pick_u(2, 4);
+    s.cfg.mem.l1d.assoc = 4;
+    s.cfg.mem.l2.size_bytes = 16'384u << pick_u(1, 3);
+    s.cfg.mem.l2.assoc = 8;
+    s.policy = "idle-timeout:" + std::to_string(pick_u(400, 1'000));
+    const std::string what = "sample " + std::to_string(i) + ": " +
+                             s.workload + " / " + s.policy +
+                             " stride=" + std::to_string(s.cfg.checkpoint_stride) +
+                             " seed=" + std::to_string(s.cfg.run_seed);
+    const WorkloadProfile* p = find_profile(s.workload);
+    ASSERT_NE(p, nullptr) << what;
+
+    const StallTimeline tl = record_timeline(s.cfg, *p);
+    ASSERT_FALSE(tl.checkpoints.empty()) << what;
+
+    const ReplayOutcome rep = replay_policy(tl, s.policy);
+    const std::uint64_t first_pen =
+        rep.ok ? ~std::uint64_t{0} : rep.windows - 1;
+    SharedTraceView view(tl.record.trace);
+    const std::string want =
+        result_to_json(Simulator(s.cfg).run(view, p->name, s.policy)).dump();
+    if (rep.ok) EXPECT_EQ(result_to_json(rep.result).dump(), want) << what;
+
+    // Every eligible checkpoint, thinned to a bounded subset per sample.
+    std::vector<const SimCheckpoint*> eligible;
+    for (const SimCheckpoint& ck : tl.checkpoints)
+      if (ck.windows <= first_pen) eligible.push_back(&ck);
+    const std::size_t step = eligible.size() > 8 ? eligible.size() / 8 : 1;
+    for (std::size_t k = 0; k < eligible.size(); k += step)
+      EXPECT_EQ(
+          result_to_json(resume_from_checkpoint(tl, *eligible[k], s.policy))
+              .dump(),
+          want)
+          << what << " ck@" << eligible[k]->instr_pos;
+
+    if (!rep.ok) {
+      const ResumeOutcome out = resume_policy(tl, s.policy, first_pen);
+      EXPECT_EQ(out.ok, !eligible.empty()) << what;
+      if (out.ok) {
+        EXPECT_EQ(result_to_json(out.result).dump(), want) << what;
+        EXPECT_EQ(out.from_instr, eligible.back()->instr_pos) << what;
+      }
+    }
+  }
+}
+
+// Multicore rider over the same randomized core/cache/PG space: the
+// min-heap scheduler with its bulk-run horizon must stay bit-identical to
+// the linear min-scan on configurations nobody hand-picked.
+TEST(RandomConfigs, MulticoreHeapSchedulerEquivalence) {
+  std::mt19937_64 rng(0x4d43464cu);  // "MCFL"
+  auto pick_u = [&rng](std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(rng);
+  };
+  constexpr int kSamples = 5;
+  for (int i = 0; i < kSamples; ++i) {
+    const Sample s = draw(rng);
+    MulticoreConfig mc;
+    mc.core = s.cfg.core;
+    mc.mem = s.cfg.mem;
+    mc.tech = s.cfg.tech;
+    mc.pg = s.cfg.pg;
+    mc.num_cores = static_cast<std::uint32_t>(pick_u(2, 4));
+    mc.instructions_per_core = 15'000;
+    mc.warmup_instructions = 3'000;
+    mc.run_seed = s.cfg.run_seed;
+    const std::string what = "sample " + std::to_string(i) + ": " +
+                             s.workload + " / " + s.policy + " cores=" +
+                             std::to_string(mc.num_cores);
+    const WorkloadProfile* p = find_profile(s.workload);
+    ASSERT_NE(p, nullptr) << what;
+
+    mc.heap_scheduler = true;
+    const MulticoreResult heap = MulticoreSim(mc).run({*p}, s.policy);
+    mc.heap_scheduler = false;
+    const MulticoreResult scan = MulticoreSim(mc).run({*p}, s.policy);
+
+    ASSERT_EQ(heap.cores.size(), scan.cores.size()) << what;
+    for (std::size_t c = 0; c < heap.cores.size(); ++c) {
+      EXPECT_EQ(heap.cores[c].core.cycles, scan.cores[c].core.cycles)
+          << what << " core " << c;
+      EXPECT_EQ(heap.cores[c].core.instrs, scan.cores[c].core.instrs)
+          << what << " core " << c;
+      EXPECT_EQ(heap.cores[c].gating.gated_events,
+                scan.cores[c].gating.gated_events)
+          << what << " core " << c;
+    }
+    EXPECT_EQ(heap.dram.reads, scan.dram.reads) << what;
+    EXPECT_DOUBLE_EQ(heap.total_j(), scan.total_j()) << what;
   }
 }
 
