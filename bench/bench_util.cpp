@@ -26,6 +26,30 @@ BenchEnv parse_env(int argc, char** argv, std::uint64_t default_instructions,
     env.sim.mem.dram.power.mode = DramPowerMode::kTimeout;
   else if (dram_power == "coordinated")
     env.sim.mem.dram.power.mode = DramPowerMode::kCoordinated;
+  // Named timing standard: applied before any later per-key override a bench
+  // may layer on, and paired with the standard's IDD-class energy set
+  // (docs/DRAM.md).  --dram-standard=ddr3-1600 is bit-identical to the
+  // default (the preset IS the default timing set).
+  if (const auto standard_name = cfg.get("dram-standard")) {
+    DramStandard standard;
+    if (parse_dram_standard(*standard_name, standard)) {
+      apply_dram_standard(env.sim.mem.dram, standard);
+      env.sim.dram_energy = dram_energy_for_standard(standard);
+    } else {
+      std::cerr << "warning: unknown --dram-standard '" << *standard_name
+                << "' (want ddr3-1600 | ddr4-2400 | lpddr4-3200 | custom)\n";
+    }
+  }
+  if (const auto policy_name = cfg.get("page-policy")) {
+    PagePolicy policy;
+    if (parse_page_policy(*policy_name, policy))
+      env.sim.mem.dram.page_policy = policy;
+    else
+      std::cerr << "warning: unknown --page-policy '" << *policy_name
+                << "' (want open | closed | hybrid)\n";
+  }
+  env.sim.mem.dram.queue_depth = static_cast<std::uint32_t>(
+      cfg.get_uint("dram.queue_depth", env.sim.mem.dram.queue_depth));
   env.csv = cfg.get_bool("csv", false);
 
   // --- Execution engine flags ---

@@ -12,6 +12,12 @@
 //                      per-channel timer), coordinated (the PG controller
 //                      parks idle channels during gated stalls; pair with
 //                      a "<policy>-dram" spec)
+//   --dram-standard=S  named DRAM timing + energy preset (docs/DRAM.md):
+//                      ddr3-1600 (the default timing set), ddr4-2400,
+//                      lpddr4-3200; individual dram.t_* keys still override
+//   --page-policy=P    DRAM page-management policy: open (default),
+//                      closed (auto-precharge), hybrid (HAPPY-style,
+//                      keyed by row-address bits; docs/DRAM.md §4)
 //   --csv=1            emit CSV instead of the aligned text table
 // Execution-engine flags (see docs/EXEC.md):
 //   --jobs=N           simulation worker threads (default: all hardware

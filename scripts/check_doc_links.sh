@@ -9,9 +9,9 @@
 #      Relative targets resolve against the file's directory.
 #   2. Every file under docs/ must be reachable from the README
 #      Documentation index (a doc nobody can find is a doc that drifts).
-#   3. Fenced ```cpp blocks in docs/MEMORY_POWER.md must compile
-#      (`c++ -std=c++20 -fsyntax-only -I src`), so the examples cannot
-#      drift from the API they document.
+#   3. Fenced ```cpp blocks in docs/MEMORY_POWER.md and docs/DRAM.md must
+#      compile (`c++ -std=c++20 -fsyntax-only -I src`), so the examples
+#      cannot drift from the API they document.
 #
 # Usage: scripts/check_doc_links.sh [repo-root]   (default: script's parent)
 set -u
@@ -60,27 +60,29 @@ for doc in docs/*.md; do
   fi
 done
 
-# --- 3. compile the fenced cpp blocks in docs/MEMORY_POWER.md -------------
+# --- 3. compile the fenced cpp blocks in the model-spec docs --------------
 # Each block is extracted to its own translation unit and syntax-checked
 # against the real headers.
 blocks=0
-if [ -f docs/MEMORY_POWER.md ]; then
-  tmpdir=$(mktemp -d)
-  trap 'rm -rf "$tmpdir"' EXIT
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+for doc in docs/MEMORY_POWER.md docs/DRAM.md; do
+  [ -f "$doc" ] || continue
+  rm -f "$tmpdir"/block*.cpp
   awk -v dir="$tmpdir" '
     /^```cpp$/ { inblock = 1; n += 1; out = dir "/block" n ".cpp"; next }
     /^```$/    { inblock = 0 }
     inblock    { print > out }
-  ' docs/MEMORY_POWER.md
+  ' "$doc"
   for block in "$tmpdir"/block*.cpp; do
     [ -e "$block" ] || continue
     blocks=$((blocks + 1))
     if ! c++ -std=c++20 -fsyntax-only -I src "$block"; then
-      echo "DOC CODE BROKEN: docs/MEMORY_POWER.md $(basename "$block") does not compile"
+      echo "DOC CODE BROKEN: $doc $(basename "$block") does not compile"
       fail=1
     fi
   done
-fi
+done
 
 if [ "$fail" -ne 0 ]; then
   echo "check_doc_links: documentation checks failed"

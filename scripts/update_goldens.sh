@@ -6,6 +6,8 @@
 # Builds test_golden, reruns every pinned table with MAPG_UPDATE_GOLDENS=1,
 # and splices the freshly printed rows between the marker comments:
 #   GOLDEN-BEGIN/GOLDEN-END            result table (Golden.PinnedResultTable)
+#   TAB9-GOLDEN-BEGIN/TAB9-GOLDEN-END  DRAM standard x page-policy grid
+#                                      (Golden.Tab9GridFrozen)
 #   CKPT-GOLDEN-BEGIN/CKPT-GOLDEN-END  checkpoint fingerprints
 #                                      (Golden.CheckpointFingerprintsFrozen)
 # Run this ONLY after an intentional model change, then regenerate
@@ -51,9 +53,12 @@ splice() {
   echo "spliced $n rows ($filter) into $SRC"
 }
 
-# Result-table rows look like '      {"...'; checkpoint rows like '      {25000u, ...'.
+# Result-table and tab9 rows look like '      {"...'; checkpoint rows like
+# '      {25000u, ...'.
 splice 'Golden.PinnedResultTable' '^[[:space:]]*\{"' \
        'GOLDEN-BEGIN' 'GOLDEN-END'
+splice 'Golden.Tab9GridFrozen' '^[[:space:]]*\{"' \
+       'TAB9-GOLDEN-BEGIN' 'TAB9-GOLDEN-END'
 splice 'Golden.CheckpointFingerprintsFrozen' '^[[:space:]]*\{[0-9]' \
        'CKPT-GOLDEN-BEGIN' 'CKPT-GOLDEN-END'
 

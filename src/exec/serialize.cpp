@@ -92,6 +92,11 @@ Json config_json(const SimConfig& c) {
   dram["t_ras"] = Json::number(c.mem.dram.t_ras);
   dram["t_rfc"] = Json::number(c.mem.dram.t_rfc);
   dram["t_refi"] = Json::number(c.mem.dram.t_refi);
+  dram["standard"] = Json::number(static_cast<int>(c.mem.dram.standard));
+  dram["page_policy"] = Json::number(static_cast<int>(c.mem.dram.page_policy));
+  dram["hybrid_addr_bits"] = Json::number(c.mem.dram.hybrid_addr_bits);
+  dram["queue_depth"] = Json::number(c.mem.dram.queue_depth);
+  dram["write_starve_limit"] = Json::number(c.mem.dram.write_starve_limit);
   Json dpw = Json::object();
   dpw["mode"] = Json::number(static_cast<int>(c.mem.dram.power.mode));
   dpw["t_pd"] = Json::number(c.mem.dram.power.t_pd);
@@ -303,6 +308,13 @@ Json result_to_json(const SimResult& r) {
   dram["row_closed"] = Json::number(r.dram.row_closed);
   dram["row_conflicts"] = Json::number(r.dram.row_conflicts);
   dram["refresh_delays"] = Json::number(r.dram.refresh_delays);
+  dram["writes_queued"] = Json::number(r.dram.writes_queued);
+  dram["writes_starved"] = Json::number(r.dram.writes_starved);
+  dram["writes_overflowed"] = Json::number(r.dram.writes_overflowed);
+  dram["writes_drained"] = Json::number(r.dram.writes_drained);
+  dram["write_queue_peak"] = Json::number(r.dram.write_queue_peak);
+  dram["write_wait_cycles"] = Json::number(r.dram.write_wait_cycles);
+  dram["write_wait_max"] = Json::number(r.dram.write_wait_max);
   dram["active_cycles"] = Json::number(r.dram.active_cycles);
   dram["refresh_cycles"] = Json::number(r.dram.refresh_cycles);
   dram["powerdown_cycles"] = Json::number(r.dram.powerdown_cycles);
@@ -400,6 +412,13 @@ SimResult result_from_json(const Json& j) {
   r.dram.row_closed = dram.get("row_closed").as_u64();
   r.dram.row_conflicts = dram.get("row_conflicts").as_u64();
   r.dram.refresh_delays = dram.get("refresh_delays").as_u64();
+  r.dram.writes_queued = dram.get("writes_queued").as_u64();
+  r.dram.writes_starved = dram.get("writes_starved").as_u64();
+  r.dram.writes_overflowed = dram.get("writes_overflowed").as_u64();
+  r.dram.writes_drained = dram.get("writes_drained").as_u64();
+  r.dram.write_queue_peak = dram.get("write_queue_peak").as_u64();
+  r.dram.write_wait_cycles = dram.get("write_wait_cycles").as_u64();
+  r.dram.write_wait_max = dram.get("write_wait_max").as_u64();
   r.dram.active_cycles = dram.get("active_cycles").as_u64();
   r.dram.refresh_cycles = dram.get("refresh_cycles").as_u64();
   r.dram.powerdown_cycles = dram.get("powerdown_cycles").as_u64();

@@ -44,7 +44,13 @@ namespace mapg {
 /// the knob follows the fast_forward precedent: equivalences stay
 /// falsifiable, never assumed by the cache.  The bump is also the
 /// prefix-resume provenance boundary.
-inline constexpr int kExecSchemaVersion = 5;
+/// v6: multi-standard DRAM backend (docs/DRAM.md).  The DramConfig standard
+/// label, page policy (+ hybrid_addr_bits), and FR-FCFS posted-write queue
+/// knobs (queue_depth, write_starve_limit) joined the experiment identity,
+/// and DramStats grew the write-queue counters in the result encoding.  The
+/// DDR3-1600 / open / depth-0 defaults are bit-identical to v5 behavior
+/// (tests/test_dram_sched.cpp), but the identity now names the axes.
+inline constexpr int kExecSchemaVersion = 6;
 
 // --- Results ---
 Json result_to_json(const SimResult& r);

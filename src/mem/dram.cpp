@@ -13,12 +13,110 @@ namespace {
 constexpr Cycle kNever = ~Cycle{0};
 }  // namespace
 
+const char* to_string(DramStandard s) {
+  switch (s) {
+    case DramStandard::kCustom: return "custom";
+    case DramStandard::kDdr3_1600: return "ddr3-1600";
+    case DramStandard::kDdr4_2400: return "ddr4-2400";
+    case DramStandard::kLpddr4_3200: return "lpddr4-3200";
+  }
+  return "custom";
+}
+
+const char* to_string(PagePolicy p) {
+  switch (p) {
+    case PagePolicy::kOpen: return "open";
+    case PagePolicy::kClosed: return "closed";
+    case PagePolicy::kHybrid: return "hybrid";
+  }
+  return "open";
+}
+
+bool parse_dram_standard(const std::string& name, DramStandard& out) {
+  if (name == "custom") out = DramStandard::kCustom;
+  else if (name == "ddr3-1600") out = DramStandard::kDdr3_1600;
+  else if (name == "ddr4-2400") out = DramStandard::kDdr4_2400;
+  else if (name == "lpddr4-3200") out = DramStandard::kLpddr4_3200;
+  else return false;
+  return true;
+}
+
+bool parse_page_policy(const std::string& name, PagePolicy& out) {
+  if (name == "open") out = PagePolicy::kOpen;
+  else if (name == "closed") out = PagePolicy::kClosed;
+  else if (name == "hybrid") out = PagePolicy::kHybrid;
+  else return false;
+  return true;
+}
+
+void apply_dram_standard(DramConfig& cfg, DramStandard standard) {
+  // Core cycles at 3 GHz: cycles = ceil(ns * 3).  Datasheet provenance for
+  // every row is tabulated in docs/DRAM.md §2; the DDR3-1600 column must
+  // stay equal to DramConfig's member defaults (pinned by
+  // tests/test_dram_sched.cpp: StandardTable.Ddr3PresetIsTheDefault).
+  cfg.standard = standard;
+  switch (standard) {
+    case DramStandard::kCustom:
+      break;  // label only; keep whatever the caller configured
+    case DramStandard::kDdr3_1600:
+      // DDR3-1600 CL11-11-11, 4 Gb x8, 8 KiB row (tCK 1.25 ns).
+      cfg.row_bytes = 8192;
+      cfg.t_rcd = 41;     // 13.75 ns
+      cfg.t_rp = 41;      // 13.75 ns
+      cfg.t_cl = 41;      // 13.75 ns
+      cfg.t_bl = 15;      // BL8 @ 1600 MT/s = 5 ns
+      cfg.t_ras = 105;    // 35 ns
+      cfg.t_rfc = 480;    // 160 ns (4 Gb)
+      cfg.t_refi = 23400; // 7.8 us
+      cfg.power.t_pd = 8;
+      cfg.power.t_xp = 18;    // 6 ns
+      cfg.power.t_cke = 17;   // 5.625 ns
+      cfg.power.t_xs = 510;   // tRFC + 10 ns
+      cfg.power.powerdown_timeout = 192;
+      break;
+    case DramStandard::kDdr4_2400:
+      // DDR4-2400 CL17-17-17, 8 Gb x8, 8 KiB row (tCK 0.833 ns).
+      cfg.row_bytes = 8192;
+      cfg.t_rcd = 43;     // 14.16 ns
+      cfg.t_rp = 43;      // 14.16 ns
+      cfg.t_cl = 43;      // 14.16 ns
+      cfg.t_bl = 10;      // BL8 @ 2400 MT/s = 3.33 ns
+      cfg.t_ras = 96;     // 32 ns
+      cfg.t_rfc = 1050;   // 350 ns (8 Gb)
+      cfg.t_refi = 23400; // 7.8 us
+      cfg.power.t_pd = 8;
+      cfg.power.t_xp = 20;    // 6.4 ns
+      cfg.power.t_cke = 15;   // 5 ns
+      cfg.power.t_xs = 1080;  // tRFC + 10 ns
+      cfg.power.powerdown_timeout = 192;
+      break;
+    case DramStandard::kLpddr4_3200:
+      // LPDDR4-3200 RL28, 8 Gb x16, 2 KiB row (tCK 0.625 ns).
+      cfg.row_bytes = 2048;
+      cfg.t_rcd = 54;     // 18 ns
+      cfg.t_rp = 54;      // 18 ns (tRPpb)
+      cfg.t_cl = 53;      // RL28 = 17.5 ns
+      cfg.t_bl = 15;      // BL16 @ 3200 MT/s = 5 ns
+      cfg.t_ras = 126;    // 42 ns
+      cfg.t_rfc = 840;    // 280 ns (tRFCab, 8 Gb)
+      cfg.t_refi = 11700; // 3.9 us
+      cfg.power.t_pd = 8;
+      cfg.power.t_xp = 23;    // 7.5 ns
+      cfg.power.t_cke = 23;   // 7.5 ns
+      cfg.power.t_xs = 863;   // tRFCab + 7.5 ns (tXSR)
+      cfg.power.powerdown_timeout = 96;  // mobile parts park aggressively
+      break;
+  }
+}
+
 bool DramConfig::valid() const {
   if (channels == 0 || banks_per_channel == 0) return false;
   if (line_bytes == 0 || !std::has_single_bit(line_bytes)) return false;
   if (row_bytes < line_bytes || row_bytes % line_bytes != 0) return false;
   if (t_cl == 0 || t_bl == 0) return false;
   if (t_refi > 0 && t_rfc >= t_refi) return false;
+  if (queue_depth > 0 && write_starve_limit == 0) return false;
+  if (hybrid_addr_bits >= 64) return false;
   if (!power.valid()) return false;
   return true;
 }
@@ -40,6 +138,11 @@ Dram::~Dram() {
                            stats_.powerdown_entries);
       MAPG_OBS_COUNTER_ADD("sim.dram.selfrefresh_entries",
                            stats_.selfrefresh_entries);
+    }
+    if (stats_.writes_queued) {
+      MAPG_OBS_COUNTER_ADD("sim.dram.writes_queued", stats_.writes_queued);
+      MAPG_OBS_COUNTER_ADD("sim.dram.write_wait_cycles",
+                           stats_.write_wait_cycles);
     }
   });
 }
@@ -186,6 +289,7 @@ Cycle Dram::power_exit_shift(Channel& ch, Cycle now) {
 }
 
 void Dram::settle_power(Cycle now) {
+  drain_writes(now);
   if (config_.power.mode != DramPowerMode::kTimeout) return;
   for (auto& ch : channels_) settle_channel(ch, now);
 }
@@ -194,12 +298,27 @@ Cycle Dram::bank_ready(std::uint32_t channel, std::uint32_t bank) const {
   return channels_.at(channel).banks.at(bank).ready_at;
 }
 
-DramResult Dram::access(Addr line_addr, bool is_write, Cycle now) {
-  std::uint32_t ch_idx = 0, bank_idx = 0;
-  std::uint64_t row = 0;
-  map_address(line_addr, ch_idx, bank_idx, row);
-  Channel& ch = channels_[ch_idx];
+bool Dram::policy_closes_row(std::uint64_t row) const {
+  switch (config_.page_policy) {
+    case PagePolicy::kOpen:
+      return false;
+    case PagePolicy::kClosed:
+      return true;
+    case PagePolicy::kHybrid: {
+      // Address-keyed predictor (HAPPY-style, degenerate identity-indexed
+      // table): rows whose selected low bits are all zero are predicted
+      // reuse-poor and close; every other row stays open.  Deterministic in
+      // the row address, so a row's policy never flips mid-run.
+      const std::uint64_t mask = (1ULL << config_.hybrid_addr_bits) - 1;
+      return (row & mask) == 0;
+    }
+  }
+  return false;
+}
 
+DramResult Dram::service_request(Channel& ch, std::uint32_t ch_idx,
+                                 std::uint32_t bank_idx, std::uint64_t row,
+                                 bool is_write, Cycle now) {
   // Low-power exit: a sleeping channel delays the request by its exit
   // latency.  Applied before the refresh check so an exit that lands inside
   // a refresh window pays the remainder of that window (the device still
@@ -256,6 +375,18 @@ DramResult Dram::access(Addr line_addr, bool is_write, Cycle now) {
   // done (approximates tCCD/tBL spacing between column commands).
   bank.ready_at = col + config_.t_bl;
 
+  // Page-policy close: auto-precharge after the column command.  The
+  // precharge may not start before the burst's column phase is done nor
+  // before tRAS has elapsed since activation; the bank re-opens only with a
+  // fresh ACT (so the next access is kClosed, never kConflict).
+  if (policy_closes_row(row)) {
+    const Cycle pre = std::max(col + config_.t_bl,
+                               bank.activated_at + config_.t_ras);
+    bank.ready_at = pre + config_.t_rp;
+    bank.row_open = false;
+    bank.open_row = ~0ULL;
+  }
+
   res.commit = col;
   res.completion = data_end;
 
@@ -272,6 +403,105 @@ DramResult Dram::access(Addr line_addr, bool is_write, Cycle now) {
     stats_.read_latency.add(static_cast<double>(data_end - now));
   }
   return res;
+}
+
+void Dram::issue_queued_write(Channel& ch, std::uint32_t ch_idx,
+                              std::size_t pos, Cycle now) {
+  const PendingWrite w = ch.write_queue[pos];
+  ch.write_queue.erase(ch.write_queue.begin() +
+                       static_cast<std::ptrdiff_t>(pos));
+  std::uint32_t wch = 0, wbank = 0;
+  std::uint64_t wrow = 0;
+  map_address(w.line_addr, wch, wbank, wrow);
+  const Cycle wait = now - w.enqueued;
+  stats_.write_wait_cycles += wait;
+  stats_.write_wait_max = std::max(stats_.write_wait_max, wait);
+  service_request(ch, ch_idx, wbank, wrow, /*is_write=*/true, now);
+}
+
+void Dram::schedule_before_read(Channel& ch, std::uint32_t ch_idx,
+                                std::uint32_t bank_idx, std::uint64_t row,
+                                Cycle now) {
+  // 1. Starvation bound: any write that has waited write_starve_limit or
+  // longer issues ahead of everything, oldest first (the queue is in age
+  // order, so the front is always the oldest).
+  while (!ch.write_queue.empty() &&
+         now - ch.write_queue.front().enqueued >= config_.write_starve_limit) {
+    ++stats_.writes_starved;
+    issue_queued_write(ch, ch_idx, 0, now);
+  }
+
+  // 2. Row-hit-first: when the arriving read would NOT hit an open row, any
+  // queued write that WOULD hit one issues first (FR-FCFS: column commands
+  // to open rows beat activates), oldest first.  When the read itself is a
+  // row hit it wins the tie against row-hitting writes by age — it is the
+  // newest request, but reads are latency-critical and demand reads are
+  // prioritized over victim writes (see MemoryHierarchy), which is the
+  // documented read-priority tilt of this FR-FCFS implementation.
+  const Bank& rb = ch.banks[bank_idx];
+  const bool read_hits = rb.row_open && rb.open_row == row;
+  if (read_hits) return;
+  for (std::size_t i = 0; i < ch.write_queue.size();) {
+    std::uint32_t wch = 0, wbank = 0;
+    std::uint64_t wrow = 0;
+    map_address(ch.write_queue[i].line_addr, wch, wbank, wrow);
+    const Bank& wb = ch.banks[wbank];
+    if (wb.row_open && wb.open_row == wrow) {
+      issue_queued_write(ch, ch_idx, i, now);
+      // restart the scan: issuing may have changed open-row state
+      i = 0;
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Dram::drain_writes(Cycle now) {
+  if (config_.queue_depth == 0) return;
+  for (std::uint32_t c = 0; c < channels_.size(); ++c) {
+    Channel& ch = channels_[c];
+    while (!ch.write_queue.empty()) {
+      ++stats_.writes_drained;
+      issue_queued_write(ch, c, 0, now);
+    }
+  }
+}
+
+DramResult Dram::access(Addr line_addr, bool is_write, Cycle now) {
+  std::uint32_t ch_idx = 0, bank_idx = 0;
+  std::uint64_t row = 0;
+  map_address(line_addr, ch_idx, bank_idx, row);
+  Channel& ch = channels_[ch_idx];
+
+  if (config_.queue_depth == 0)  // legacy synchronous path, bit-identical
+    return service_request(ch, ch_idx, bank_idx, row, is_write, now);
+
+  if (is_write) {
+    // Posted write: park it in the channel queue.  A full queue forces the
+    // oldest write out immediately (bounded depth).
+    ch.write_queue.push_back({line_addr, now});
+    ++stats_.writes_queued;
+    stats_.write_queue_peak =
+        std::max<std::uint64_t>(stats_.write_queue_peak,
+                                ch.write_queue.size());
+    if (ch.write_queue.size() > config_.queue_depth) {
+      ++stats_.writes_overflowed;
+      issue_queued_write(ch, ch_idx, 0, now);
+    }
+    // No caller consumes a write's completion (stores are posted through the
+    // hierarchy's write buffer; see MemoryHierarchy::store) — return a
+    // placeholder carrying only the mapping and the enqueue estimate.
+    DramResult res;
+    res.channel = ch_idx;
+    res.bank = bank_idx;
+    res.estimate = now + config_.estimate_latency();
+    res.commit = now;
+    res.completion = now;
+    return res;
+  }
+
+  schedule_before_read(ch, ch_idx, bank_idx, row, now);
+  return service_request(ch, ch_idx, bank_idx, row, /*is_write=*/false, now);
 }
 
 }  // namespace mapg

@@ -15,6 +15,8 @@ const std::set<std::string>& sim_keys() {
       "l2.size_kib", "l2.assoc", "l2.latency",
       "mem.mc_latency", "mem.fill_latency", "mem.line_bytes",
       "dram.channels", "dram.banks", "dram.row_bytes",
+      "dram.standard", "dram.page_policy", "dram.hybrid_bits",
+      "dram.queue_depth", "dram.write_starve",
       "dram.t_rcd", "dram.t_rp", "dram.t_cl", "dram.t_bl",
       "dram.t_ras", "dram.t_rfc", "dram.t_refi",
       "dram.power.mode", "dram.power.t_pd", "dram.power.t_xp",
@@ -54,7 +56,8 @@ void collect_unknown(const KvConfig& kv, bool with_multicore,
   static const std::set<std::string> tool_keys = {
       "config", "workload", "policy",   "csv",      "seeds", "list",
       "help",   "jobs",     "cache-dir", "no-cache", "progress", "runlog",
-      "fast-forward", "dram-power", "print-metrics", "metrics-out",
+      "fast-forward", "dram-power", "dram-standard", "page-policy",
+      "replay", "checkpoint-stride", "print-metrics", "metrics-out",
       "trace-out", "trace-buf"};
   for (const auto& [key, value] : kv.all()) {
     (void)value;
@@ -103,6 +106,40 @@ void apply_platform(const KvConfig& kv, CoreConfig& core,
       kv.get_uint("dram.channels", mem.dram.channels));
   mem.dram.banks_per_channel = static_cast<std::uint32_t>(
       kv.get_uint("dram.banks", mem.dram.banks_per_channel));
+
+  // The named standard is applied FIRST so every individual timing key below
+  // can override its preset — that is the custom path (docs/DRAM.md §2).
+  // "--dram-standard" is the front-end spelling (bench_util), "dram.standard"
+  // the config-file key; the preset also swaps in the standard's IDD-class
+  // energy set, again overridable by explicit dram_energy.* keys below.
+  {
+    const auto std_name = kv.get("dram.standard");
+    const auto std_flag = kv.get("dram-standard");
+    const std::string* name =
+        std_name ? &*std_name : (std_flag ? &*std_flag : nullptr);
+    if (name != nullptr) {
+      DramStandard standard;
+      if (parse_dram_standard(*name, standard)) {
+        apply_dram_standard(mem.dram, standard);
+        de = dram_energy_for_standard(standard);
+      }
+    }
+  }
+  if (const auto policy = kv.get("dram.page_policy")) {
+    PagePolicy p;
+    if (parse_page_policy(*policy, p)) mem.dram.page_policy = p;
+  }
+  if (const auto policy = kv.get("page-policy")) {
+    PagePolicy p;
+    if (parse_page_policy(*policy, p)) mem.dram.page_policy = p;
+  }
+  mem.dram.hybrid_addr_bits = static_cast<std::uint32_t>(
+      kv.get_uint("dram.hybrid_bits", mem.dram.hybrid_addr_bits));
+  mem.dram.queue_depth = static_cast<std::uint32_t>(
+      kv.get_uint("dram.queue_depth", mem.dram.queue_depth));
+  mem.dram.write_starve_limit =
+      kv.get_uint("dram.write_starve", mem.dram.write_starve_limit);
+
   mem.dram.row_bytes = static_cast<std::uint32_t>(
       kv.get_uint("dram.row_bytes", mem.dram.row_bytes));
   mem.dram.t_rcd = kv.get_uint("dram.t_rcd", mem.dram.t_rcd);

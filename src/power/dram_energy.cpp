@@ -5,6 +5,39 @@
 
 namespace mapg {
 
+DramEnergyParams dram_energy_for_standard(DramStandard standard) {
+  DramEnergyParams p;  // defaults == DDR3-1600 2 Gb x8 class
+  switch (standard) {
+    case DramStandard::kCustom:
+    case DramStandard::kDdr3_1600:
+      break;
+    case DramStandard::kDdr4_2400:
+      // 8 Gb x8 at 1.2 V: lower standby and per-bit event energy than DDR3,
+      // but the bigger die makes each refresh event costlier.
+      p.background_w_per_channel = 0.30;
+      p.powerdown_w_per_channel = 0.09;
+      p.selfrefresh_w_per_channel = 0.030;
+      p.activate_nj = 10.0;
+      p.read_nj = 8.0;
+      p.write_nj = 9.0;
+      p.refresh_nj = 130.0;
+      break;
+    case DramStandard::kLpddr4_3200:
+      // 8 Gb x16 at 1.1 V with a 0.6 V VDDQ: mobile-class background draw
+      // and aggressive low-power states (IDD2P/IDD6 an order of magnitude
+      // below the DDR3 numbers), smaller 2 KiB pages so cheaper ACTs.
+      p.background_w_per_channel = 0.10;
+      p.powerdown_w_per_channel = 0.025;
+      p.selfrefresh_w_per_channel = 0.008;
+      p.activate_nj = 6.0;
+      p.read_nj = 4.0;
+      p.write_nj = 4.5;
+      p.refresh_nj = 60.0;
+      break;
+  }
+  return p;
+}
+
 DramEnergyBreakdown compute_dram_energy_breakdown(
     const DramStats& stats, const DramConfig& config, const TechParams& tech,
     const DramEnergyParams& params, Cycle duration,

@@ -42,6 +42,13 @@ struct DramEnergyParams {
   }
 };
 
+/// IDD-class draw set for a named timing standard (docs/DRAM.md §5).  The
+/// defaults above ARE the DDR3-1600 set; DDR4 trims every term and LPDDR4 is
+/// the mobile part: much lower background and far deeper low-power states —
+/// which is what moves MAPG's coordinated-gating crossover (R-Tab.9).
+/// kCustom returns the defaults unchanged.
+DramEnergyParams dram_energy_for_standard(DramStandard standard);
+
 /// Component split of the DRAM energy over a run.  `total_j()` is what lands
 /// in EnergyBreakdown::dram_j; the background / low-power split is reported
 /// separately so experiments can show what residency bought.

@@ -132,6 +132,14 @@ void hash(Fnv& f, const Dram::State& s) {
       f.u64(b.activated_at);
     }
     f.u64(ch.bus_free_at);
+    // The posted-write queue is live controller state: a resumed run must
+    // re-issue exactly these writes at exactly the deferred times the
+    // from-zero run would (docs/DRAM.md §3).
+    f.u64(ch.write_queue.size());
+    for (const Dram::PendingWrite& w : ch.write_queue) {
+      f.u64(w.line_addr);
+      f.u64(w.enqueued);
+    }
     f.u64(ch.idle_from);
     f.u64(ch.accounted_until);
   }
@@ -141,6 +149,13 @@ void hash(Fnv& f, const Dram::State& s) {
   f.u64(s.stats.row_closed);
   f.u64(s.stats.row_conflicts);
   f.u64(s.stats.refresh_delays);
+  f.u64(s.stats.writes_queued);
+  f.u64(s.stats.writes_starved);
+  f.u64(s.stats.writes_overflowed);
+  f.u64(s.stats.writes_drained);
+  f.u64(s.stats.write_queue_peak);
+  f.u64(s.stats.write_wait_cycles);
+  f.u64(s.stats.write_wait_max);
   hash(f, s.stats.read_latency);
   f.u64(s.stats.active_cycles);
   f.u64(s.stats.refresh_cycles);

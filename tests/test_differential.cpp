@@ -126,6 +126,35 @@ TEST(KernelDifferential, ConfigCorners) {
   expect_identical(dram_coord, *p, "mapg-dram");
   expect_identical(dram_coord, *p, "oracle-dram");
   expect_identical(dram_coord, *p, "idle-timeout-early-dram:64");
+
+  // Multi-standard timing table + page-policy axis + FR-FCFS posted-write
+  // queue (docs/DRAM.md).  Both kernels must see identical DRAM behavior
+  // under every standard / policy / queue combination.
+  SimConfig ddr4 = diff_config(42);
+  apply_dram_standard(ddr4.mem.dram, DramStandard::kDdr4_2400);
+  ddr4.dram_energy = dram_energy_for_standard(DramStandard::kDdr4_2400);
+  expect_identical(ddr4, *p, "mapg");
+
+  SimConfig lp4_closed = diff_config(42);
+  apply_dram_standard(lp4_closed.mem.dram, DramStandard::kLpddr4_3200);
+  lp4_closed.dram_energy =
+      dram_energy_for_standard(DramStandard::kLpddr4_3200);
+  lp4_closed.mem.dram.page_policy = PagePolicy::kClosed;
+  expect_identical(lp4_closed, *p, "mapg");
+
+  SimConfig hybrid_queued = diff_config(42);
+  hybrid_queued.mem.dram.page_policy = PagePolicy::kHybrid;
+  hybrid_queued.mem.dram.hybrid_addr_bits = 3;
+  hybrid_queued.mem.dram.queue_depth = 8;
+  hybrid_queued.mem.dram.write_starve_limit = 256;
+  expect_identical(hybrid_queued, *p, "mapg");
+
+  // Queue + coordinated DRAM gating: the drain at every settle_power must
+  // land at the same points in both kernels.
+  SimConfig queued_coord = diff_config(42);
+  queued_coord.mem.dram.queue_depth = 4;
+  queued_coord.mem.dram.power.mode = DramPowerMode::kCoordinated;
+  expect_identical(queued_coord, *p, "mapg-dram");
 }
 
 // Multicore: shared L2/DRAM contention plus the wake arbiter.  The stepped

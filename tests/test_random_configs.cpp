@@ -48,6 +48,26 @@ Sample draw(std::mt19937_64& rng) {
   s.cfg.core.mlp_window = static_cast<std::uint32_t>(pick_u(1, 24));
   s.cfg.core.div_latency = pick_u(8, 40);
 
+  // Named timing standard first (docs/DRAM.md §2); the per-key corners
+  // below then override parts of the preset, which is exactly the custom
+  // path config_apply supports.
+  switch (pick_u(0, 3)) {
+    case 0:
+      break;  // untouched defaults
+    case 1:
+      apply_dram_standard(s.cfg.mem.dram, DramStandard::kDdr3_1600);
+      break;
+    case 2:
+      apply_dram_standard(s.cfg.mem.dram, DramStandard::kDdr4_2400);
+      s.cfg.dram_energy = dram_energy_for_standard(DramStandard::kDdr4_2400);
+      break;
+    default:
+      apply_dram_standard(s.cfg.mem.dram, DramStandard::kLpddr4_3200);
+      s.cfg.dram_energy =
+          dram_energy_for_standard(DramStandard::kLpddr4_3200);
+      break;
+  }
+
   // DRAM timing, including refresh corners: disabled, short-period, and
   // t_rfc >= t_refi (pathological but must still agree).
   switch (pick_u(0, 3)) {
@@ -88,6 +108,28 @@ Sample draw(std::mt19937_64& rng) {
       break;
   }
   EXPECT_TRUE(s.cfg.mem.dram.power.valid());
+
+  // Page-management policy and the FR-FCFS posted-write queue (docs/DRAM.md
+  // §3-§4): queue depth 0 (the legacy synchronous path) half the time, else
+  // a small bounded queue with a random starvation bound.
+  switch (pick_u(0, 2)) {
+    case 0:
+      break;  // kOpen
+    case 1:
+      s.cfg.mem.dram.page_policy = PagePolicy::kClosed;
+      break;
+    default:
+      s.cfg.mem.dram.page_policy = PagePolicy::kHybrid;
+      s.cfg.mem.dram.hybrid_addr_bits =
+          static_cast<std::uint32_t>(pick_u(1, 8));
+      break;
+  }
+  if (pick_u(0, 1) == 1) {
+    s.cfg.mem.dram.queue_depth = static_cast<std::uint32_t>(pick_u(1, 16));
+    s.cfg.mem.dram.write_starve_limit = pick_u(64, 4'096);
+  }
+  // (No blanket dram.valid() check: the refresh corner above deliberately
+  // draws the pathological t_rfc >= t_refi shape.)
 
   // Gating circuit; keep valid(): light_swing <= rail_swing, fractions in
   // (0, 1].

@@ -63,6 +63,12 @@ int usage() {
       "  --dram-power=off|timeout|coordinated\n"
       "                                  DRAM low-power states (alias for\n"
       "                                  dram.power.mode; docs/MEMORY_POWER.md)\n"
+      "  --dram-standard=ddr3-1600|ddr4-2400|lpddr4-3200\n"
+      "                                  named DRAM timing + energy preset\n"
+      "                                  (alias for dram.standard; docs/DRAM.md)\n"
+      "  --page-policy=open|closed|hybrid\n"
+      "                                  DRAM page-management policy (alias\n"
+      "                                  for dram.page_policy; docs/DRAM.md)\n"
       "  --instructions=N --warmup=N --seed=N\n"
       "  --jobs=N                        worker threads (default: all cores)\n"
       "  --cache-dir=DIR                 persistent result cache\n"
