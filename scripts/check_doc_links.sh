@@ -66,7 +66,7 @@ done
 blocks=0
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
-for doc in docs/MEMORY_POWER.md docs/DRAM.md; do
+for doc in docs/MEMORY_POWER.md docs/DRAM.md docs/TRACE.md; do
   [ -f "$doc" ] || continue
   rm -f "$tmpdir"/block*.cpp
   awk -v dir="$tmpdir" '

@@ -61,22 +61,22 @@ struct EpochSnap {
 /// recording overhead; see bench/micro_replay_speedup.cpp).
 class TeeTraceSource final : public TraceSource {
  public:
-  TeeTraceSource(TraceGenerator& gen, std::vector<Instr>& buf)
-      : gen_(gen), buf_(buf) {}
+  TeeTraceSource(TraceSource& inner, std::vector<Instr>& buf)
+      : inner_(inner), buf_(buf) {}
 
   bool next(Instr& out) override {
-    if (!gen_.next(out)) return false;
+    if (!inner_.next(out)) return false;
     buf_.push_back(out);
     return true;
   }
   void reset() override {
     // Single-pass by construction: run_impl never rewinds its source.
     buf_.clear();
-    gen_.reset();
+    inner_.reset();
   }
 
  private:
-  TraceGenerator& gen_;
+  TraceSource& inner_;
   std::vector<Instr>& buf_;
 };
 
@@ -158,6 +158,32 @@ SimResult Simulator::run_recorded(const WorkloadProfile& profile,
   TraceGenerator gen(profile, config_.run_seed);
   TeeTraceSource tee(gen, *buf);
   SimResult result = run_impl(tee, profile.name, *policy, &record, hook);
+  record.trace = std::move(buf);
+  return result;
+}
+
+SimResult Simulator::run_recorded(TraceSource& trace,
+                                  const std::string& workload_name,
+                                  const std::string& policy_spec,
+                                  RunRecord& record,
+                                  const CheckpointHook& hook) const {
+  // Trace-source variant of the profile overload: same single-pass tee, but
+  // the stream comes from an external source (a trace-file window in sampled
+  // simulation) instead of a generator.
+  auto buf = std::make_shared<std::vector<Instr>>();
+  buf->reserve(
+      static_cast<std::size_t>(config_.warmup_instructions +
+                               config_.instructions));
+  record.warmup_stalls.clear();
+  record.stalls.clear();
+
+  const PgCircuit circuit(config_.pg, config_.tech);
+  const PolicyContext ctx = PgController::make_context(circuit);
+  std::unique_ptr<PgPolicy> policy = make_policy(policy_spec, ctx);
+  if (!policy)
+    throw std::invalid_argument("unknown policy spec: " + policy_spec);
+  TeeTraceSource tee(trace, *buf);
+  SimResult result = run_impl(tee, workload_name, *policy, &record, hook);
   record.trace = std::move(buf);
   return result;
 }

@@ -164,6 +164,13 @@ class Simulator {
                          const std::string& policy_spec, RunRecord& record,
                          const CheckpointHook& hook = nullptr) const;
 
+  /// Trace-source variant of run_recorded: identical tee/record semantics,
+  /// but instructions come from `trace` (e.g. a file-trace window in sampled
+  /// simulation, src/sample) instead of the profile's generator.
+  SimResult run_recorded(TraceSource& trace, const std::string& workload_name,
+                         const std::string& policy_spec, RunRecord& record,
+                         const CheckpointHook& hook = nullptr) const;
+
   /// Like run(), but integrates the core hot-spot temperature epoch by
   /// epoch and applies the leakage-temperature feedback (R-Tab.7).  Uses
   /// config().thermal for the RC node parameters.

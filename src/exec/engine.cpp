@@ -10,6 +10,7 @@
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "replay/replay.h"
+#include "trace/trace_file.h"
 #include "trace/trace_io.h"
 
 namespace mapg {
@@ -57,7 +58,9 @@ ExperimentEngine::ExperimentEngine(ExecOptions options)
           "exec.cache.miss", "exec.cache.store", "sim.replay.timelines",
           "sim.replay.windows", "sim.replay.cells",
           "sim.replay.full_fallbacks", "sim.replay.prefix_resumes",
-          "sim.replay.windows_saved"})
+          "sim.replay.windows_saved", "sim.sample.regions",
+          "sim.sample.clusters", "sim.sample.simulated",
+          "sim.sample.projected"})
       reg.counter(name);
   })
   if (!options_.log_jsonl.empty()) {
@@ -84,7 +87,8 @@ JobOutcome ExperimentEngine::execute(
     const ExperimentJob& job,
     std::shared_ptr<const std::vector<Instr>> trace) {
   const std::string key =
-      cache_key(job.config, job.profile, job.policy_spec);
+      cache_key(job.config, job.profile, job.policy_spec,
+                job.trace ? &*job.trace : nullptr);
   const double t0 = now_ms();
   [[maybe_unused]] std::uint64_t trace_ts = 0;
   MAPG_OBS_ONLY(if (obs::EventTracer::instance().enabled()) trace_ts =
@@ -99,7 +103,23 @@ JobOutcome ExperimentEngine::execute(
   } else {
     try {
       const Simulator sim(job.config);
-      if (trace != nullptr) {
+      if (job.trace.has_value()) {
+        // Trace-bound cell: stream the window from disk.  The digest check
+        // keeps the cache honest — the key claims this content, so a file
+        // swapped behind the binding must fail, not silently mis-key.
+        FileTraceSource file(job.trace->path);
+        if (!job.trace->digest_hex.empty() &&
+            file.info().digest_hex() != job.trace->digest_hex)
+          throw std::runtime_error(
+              job.trace->path + ": content digest " +
+              file.info().digest_hex() + " does not match binding " +
+              job.trace->digest_hex);
+        file.seek(job.trace->offset);
+        LimitedTraceSource window(
+            file, job.config.warmup_instructions + job.config.instructions);
+        out.result = cache_->store(
+            key, sim.run(window, job.trace->name, job.policy_spec));
+      } else if (trace != nullptr) {
         // Shared materialized trace (replay-group fallback): the stream is
         // what a fresh generator would produce, so this is bit-identical to
         // the generator path.

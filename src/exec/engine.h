@@ -18,12 +18,14 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/sim.h"
 #include "exec/result_cache.h"
+#include "exec/serialize.h"
 #include "exec/thread_pool.h"
 #include "trace/profile.h"
 
@@ -52,10 +54,17 @@ struct ExecOptions {
 };
 
 /// One experiment cell.  The trace seed rides inside config.run_seed.
+/// With `trace` set, instructions come from the bound on-disk trace window
+/// (FileTraceSource seeked to trace->offset, capped at warmup + measured)
+/// instead of the profile's generator; the binding's content digest joins
+/// the cache identity (exec schema v7) and `profile` degrades to a label
+/// carrier.  Trace-bound jobs always take the direct simulation path —
+/// replay grouping applies only to generated sweep cells (run_sweep).
 struct ExperimentJob {
   SimConfig config;
   WorkloadProfile profile;
   std::string policy_spec = "none";
+  std::optional<TraceBinding> trace;
 };
 
 struct JobOutcome {

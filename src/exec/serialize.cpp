@@ -477,12 +477,21 @@ bool results_equal(const SimResult& a, const SimResult& b) {
 
 Json experiment_identity(const SimConfig& config,
                          const WorkloadProfile& profile,
-                         const std::string& policy_spec) {
+                         const std::string& policy_spec,
+                         const TraceBinding* trace) {
   Json j = Json::object();
   j["schema"] = Json::number(kExecSchemaVersion);
   j["config"] = config_json(config);
   j["profile"] = profile_json(profile);
   j["policy_spec"] = Json::string(policy_spec);
+  if (trace != nullptr) {
+    // Content only: the path is resolution machinery, not identity.
+    Json t = Json::object();
+    t["digest"] = Json::string(trace->digest_hex);
+    t["offset"] = Json::number(trace->offset);
+    t["name"] = Json::string(trace->name);
+    j["trace"] = std::move(t);
+  }
   return j;
 }
 
@@ -496,9 +505,10 @@ std::uint64_t fnv1a64(const std::string& bytes, std::uint64_t seed) {
 }
 
 std::string cache_key(const SimConfig& config, const WorkloadProfile& profile,
-                      const std::string& policy_spec) {
+                      const std::string& policy_spec,
+                      const TraceBinding* trace) {
   const std::string canon =
-      experiment_identity(config, profile, policy_spec).dump();
+      experiment_identity(config, profile, policy_spec, trace).dump();
   // Two independently-seeded FNV-1a streams -> 128 bits; plenty for the
   // few thousand cells any reproduction sweep produces.
   const std::uint64_t a = fnv1a64(canon);

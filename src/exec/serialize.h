@@ -50,7 +50,13 @@ namespace mapg {
 /// and DramStats grew the write-queue counters in the result encoding.  The
 /// DDR3-1600 / open / depth-0 defaults are bit-identical to v5 behavior
 /// (tests/test_dram_sched.cpp), but the identity now names the axes.
-inline constexpr int kExecSchemaVersion = 6;
+/// v7: trace-driven cells (docs/TRACE.md).  A job bound to an on-disk trace
+/// carries a `trace` object in its identity: the trace's content digest
+/// (FNV-1a64 over the record payload bytes — format/chunking/path
+/// independent), the window offset, and the workload label.  Generator
+/// cells encode exactly as in v6 apart from the tag; the bump is the
+/// provenance boundary for trace-bound keys.
+inline constexpr int kExecSchemaVersion = 7;
 
 // --- Results ---
 Json result_to_json(const SimResult& r);
@@ -61,14 +67,29 @@ SimResult result_from_json(const Json& j);
 bool results_equal(const SimResult& a, const SimResult& b);
 
 // --- Experiment identity ---
-/// Canonical JSON object naming every field of the experiment cell.
+/// Binds an experiment cell to a window of an on-disk trace instead of the
+/// profile's generator.  Only content joins the identity: the digest names
+/// the instruction stream (so renaming or re-chunking the file never splits
+/// the cache and editing one record always does), offset names the window
+/// start, and `name` labels results.  The path is resolution-only.
+struct TraceBinding {
+  std::string path;
+  std::string digest_hex;    ///< trace_digest_hex of the stream digest
+  std::uint64_t offset = 0;  ///< absolute instruction index of the window
+  std::string name;          ///< workload label, e.g. "trace:app1"
+};
+
+/// Canonical JSON object naming every field of the experiment cell.  A
+/// non-null `trace` adds the binding's content identity (v7).
 Json experiment_identity(const SimConfig& config,
                          const WorkloadProfile& profile,
-                         const std::string& policy_spec);
+                         const std::string& policy_spec,
+                         const TraceBinding* trace = nullptr);
 
 /// 32-hex-char content hash of experiment_identity(...).dump().
 std::string cache_key(const SimConfig& config, const WorkloadProfile& profile,
-                      const std::string& policy_spec);
+                      const std::string& policy_spec,
+                      const TraceBinding* trace = nullptr);
 
 /// 64-bit FNV-1a over a byte string (exposed for tests).
 std::uint64_t fnv1a64(const std::string& bytes,

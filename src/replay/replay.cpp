@@ -31,6 +31,27 @@ StallTimeline record_timeline(const SimConfig& config,
   return tl;
 }
 
+StallTimeline record_timeline_traced(const SimConfig& config,
+                                     TraceSource& trace,
+                                     const std::string& workload_name) {
+  StallTimeline tl;
+  tl.config = config;
+  tl.profile.name = workload_name;  // stub: replay reads only the name
+  Simulator::CheckpointHook hook;
+  if (config.checkpoint_stride > 0) {
+    hook = [&tl](const Core& core, const MemoryHierarchy& mem,
+                 std::uint64_t instr_pos, bool in_warmup) {
+      tl.checkpoints.push_back(capture_checkpoint(
+          core, mem, instr_pos, in_warmup,
+          tl.record.warmup_stalls.size() + tl.record.stalls.size()));
+    };
+  }
+  tl.reference = std::make_shared<const SimResult>(Simulator(config).run_recorded(
+      trace, workload_name, "none", tl.record, hook));
+  MAPG_OBS_COUNTER_INC("sim.replay.timelines");
+  return tl;
+}
+
 ReplayOutcome replay_policy(const StallTimeline& timeline,
                             const std::string& policy_spec) {
   const SimConfig& cfg = timeline.config;

@@ -62,6 +62,16 @@ struct StallTimeline {
 StallTimeline record_timeline(const SimConfig& config,
                               const WorkloadProfile& profile);
 
+/// Trace-source variant: records the reference from an externally provided
+/// stream (e.g. a file-trace window in sampled simulation, src/sample)
+/// instead of a profile's generator.  The timeline's `profile` is a stub
+/// carrying only `workload_name` — replay_policy and resume_policy consult
+/// nothing else (they feed recorded events / the materialized trace), so
+/// every replay tier applies to traced timelines unchanged.
+StallTimeline record_timeline_traced(const SimConfig& config,
+                                     TraceSource& trace,
+                                     const std::string& workload_name);
+
 struct ReplayOutcome {
   /// true: every window resolved with resume == data_ready and `result` is
   /// bit-identical to a direct run.  false: a window was penalized (windows

@@ -1,0 +1,123 @@
+#include "sample/kmeans.h"
+
+#include <limits>
+
+#include "common/prng.h"
+
+namespace mapg {
+namespace {
+
+double dist2(const std::array<double, kSignatureDims>& a,
+             const std::array<double, kSignatureDims>& b) {
+  double d = 0;
+  for (std::size_t i = 0; i < kSignatureDims; ++i) {
+    const double t = a[i] - b[i];
+    d += t * t;
+  }
+  return d;
+}
+
+}  // namespace
+
+KMeansResult kmeans_cluster(const std::vector<RegionSignature>& sigs,
+                            std::size_t k, std::uint64_t seed,
+                            std::size_t max_iterations) {
+  KMeansResult res;
+  const std::size_t n = sigs.size();
+  if (n == 0) return res;
+  if (k == 0) k = 1;
+  if (k > n) k = n;
+
+  // k-means++ seeding: first centroid uniform, then proportional to the
+  // squared distance from the nearest chosen centroid.  The Prng draw order
+  // is fixed, so the seeding is a pure function of (sigs, k, seed).
+  Prng prng(seed);
+  res.centroids.reserve(k);
+  res.centroids.push_back(sigs[prng.below(n)].v);
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  while (res.centroids.size() < k) {
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = dist2(sigs[i].v, res.centroids.back());
+      if (d < d2[i]) d2[i] = d;
+      total += d2[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0) {
+      double r = prng.uniform() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        r -= d2[i];
+        if (r <= 0) {
+          chosen = i;
+          break;
+        }
+        chosen = i;  // numeric slack: fall through to the last index
+      }
+    } else {
+      // All remaining points coincide with a centroid; duplicates are
+      // harmless (empty clusters are repaired below).
+      chosen = prng.below(n);
+    }
+    res.centroids.push_back(sigs[chosen].v);
+  }
+
+  res.assignment.assign(n, 0);
+  std::vector<std::array<double, kSignatureDims>> sums(k);
+  std::vector<std::size_t> counts(k);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    ++res.iterations;
+    bool changed = iter == 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = dist2(sigs[i].v, res.centroids[c]);
+        if (d < best_d) {  // strict: ties keep the lowest cluster index
+          best_d = d;
+          best = c;
+        }
+      }
+      if (res.assignment[i] != best) {
+        res.assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+
+    for (auto& s : sums) s.fill(0);
+    counts.assign(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = res.assignment[i];
+      ++counts[c];
+      for (std::size_t d = 0; d < kSignatureDims; ++d)
+        sums[c][d] += sigs[i].v[d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // repaired below
+      for (std::size_t d = 0; d < kSignatureDims; ++d)
+        res.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+    }
+    // Empty-cluster repair: steal the point farthest from its centroid
+    // (lowest index on ties), so every cluster ends non-empty.
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) continue;
+      std::size_t far = 0;
+      double far_d = -1;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (counts[res.assignment[i]] <= 1) continue;
+        const double d = dist2(sigs[i].v, res.centroids[res.assignment[i]]);
+        if (d > far_d) {
+          far_d = d;
+          far = i;
+        }
+      }
+      --counts[res.assignment[far]];
+      res.assignment[far] = c;
+      counts[c] = 1;
+      res.centroids[c] = sigs[far].v;
+    }
+  }
+  return res;
+}
+
+}  // namespace mapg

@@ -1,0 +1,35 @@
+// Deterministic seeded k-means over region signatures.
+//
+// Sampled simulation needs the same (trace, config) to produce the same
+// plan on every machine and thread count — a cached projection must never
+// silently pair with a different clustering.  So: k-means++ seeding drawn
+// from the repo's portable Prng (common/prng.h; no std:: distributions, no
+// ambient entropy), Lloyd iterations in a fixed single-threaded order, and
+// every tie broken by lowest index.  tests/test_sampling.cpp pins run-to-run
+// and thread-count invariance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sample/signature.h"
+
+namespace mapg {
+
+struct KMeansResult {
+  /// assignment[i] = cluster of sigs[i]; clusters are indexed 0..k-1 and
+  /// every cluster is non-empty.
+  std::vector<std::size_t> assignment;
+  std::vector<std::array<double, kSignatureDims>> centroids;
+  std::size_t iterations = 0;  ///< Lloyd iterations until convergence/cap
+};
+
+/// Cluster the signatures into min(k, sigs.size()) groups.  Deterministic
+/// function of (sigs, k, seed).  Distance is squared-Euclidean for the
+/// k-means objective (signature_l1 is the *plan-level* dispersion metric,
+/// not the clustering metric).
+KMeansResult kmeans_cluster(const std::vector<RegionSignature>& sigs,
+                            std::size_t k, std::uint64_t seed,
+                            std::size_t max_iterations = 64);
+
+}  // namespace mapg

@@ -1,0 +1,212 @@
+#include "sample/runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/obs.h"
+
+namespace mapg {
+namespace {
+
+/// 95% normal quantile used for every reported interval.
+constexpr double kZ95 = 1.96;
+
+struct Extensive {
+  const char* name;
+  double (*get)(const SimResult&);
+};
+
+double get_cycles(const SimResult& r) {
+  return static_cast<double>(r.core.cycles);
+}
+double get_gated(const SimResult& r) {
+  return static_cast<double>(r.gating.activity.gated_cycles);
+}
+double get_dram_loads(const SimResult& r) {
+  return static_cast<double>(r.hier.served_dram);
+}
+double get_energy_total(const SimResult& r) { return r.energy.total_j(); }
+double get_energy_core_leak(const SimResult& r) {
+  return r.energy.core_leak_j;
+}
+
+/// Extensive metrics scale with instruction count and project as weighted
+/// sums; the intensive metrics users actually read (ipc, mpki, gated time
+/// fraction) are derived as ratios of these below.
+constexpr Extensive kExtensive[] = {
+    {"cycles", get_cycles},
+    {"gated_cycles", get_gated},
+    {"dram_loads", get_dram_loads},
+    {"energy_total_j", get_energy_total},
+    {"energy_core_leak_j", get_energy_core_leak},
+};
+
+MetricEstimate make_estimate(std::string name, double value, double se) {
+  MetricEstimate e;
+  e.name = std::move(name);
+  e.value = value;
+  e.stderr_ = se;
+  e.ci_lo = value - kZ95 * se;
+  e.ci_hi = value + kZ95 * se;
+  return e;
+}
+
+/// Ratio estimate a/b with first-order error propagation (independent
+/// numerator/denominator approximation).
+MetricEstimate make_ratio(std::string name, const MetricEstimate& a,
+                          const MetricEstimate& b, double scale = 1.0) {
+  if (b.value == 0) return make_estimate(std::move(name), 0, 0);
+  const double value = scale * a.value / b.value;
+  const double ra = a.value != 0 ? a.stderr_ / std::abs(a.value) : 0;
+  const double rb = b.stderr_ / std::abs(b.value);
+  return make_estimate(std::move(name), value,
+                       std::abs(value) * std::sqrt(ra * ra + rb * rb));
+}
+
+}  // namespace
+
+const MetricEstimate* SampledResult::find(const std::string& name) const {
+  for (const MetricEstimate& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+SampledRunner::SampledRunner(const SimConfig& base, SeekableTraceSource& trace,
+                             SamplePlan plan, std::string workload_name)
+    : base_(base),
+      trace_(trace),
+      plan_(std::move(plan)),
+      workload_(std::move(workload_name)) {
+  timelines_.resize(plan_.exhaustive ? 1 : plan_.clusters.size());
+}
+
+const StallTimeline& SampledRunner::timeline_for(std::size_t cluster) {
+  if (timelines_[cluster].has_value()) return *timelines_[cluster];
+
+  SimConfig cfg = base_;
+  if (plan_.exhaustive) {
+    // One continuous cold run over the whole trace: the reference
+    // semantics full simulation is compared against (warmup 0, every
+    // instruction measured).
+    cfg.warmup_instructions = 0;
+    cfg.instructions = plan_.total_instructions;
+    trace_.seek(0);
+  } else {
+    const RegionSignature& rep =
+        plan_.regions[plan_.clusters[cluster].representative];
+    const std::uint64_t warmup =
+        std::min<std::uint64_t>(plan_.config.warmup_instructions, rep.start);
+    cfg.warmup_instructions = warmup;
+    cfg.instructions = rep.length;
+    trace_.seek(rep.start - warmup);
+  }
+  LimitedTraceSource window(trace_,
+                            cfg.warmup_instructions + cfg.instructions);
+  timelines_[cluster] =
+      record_timeline_traced(cfg, window, workload_);
+  MAPG_OBS_COUNTER_ADD("sim.sample.simulated", cfg.instructions);
+  return *timelines_[cluster];
+}
+
+SimResult SampledRunner::simulate_cell(const StallTimeline& timeline,
+                                       const std::string& policy_spec) const {
+  // Same tier ladder as the experiment engine's replay groups: exact replay
+  // first, checkpoint prefix-resume second, direct simulation over the
+  // materialized window last.  Every tier is bit-identical to direct.
+  const ReplayOutcome replayed = replay_policy(timeline, policy_spec);
+  if (replayed.ok) return replayed.result;
+  if (!timeline.checkpoints.empty() && replayed.windows > 0) {
+    const ResumeOutcome resumed =
+        resume_policy(timeline, policy_spec, replayed.windows - 1);
+    if (resumed.ok) return resumed.result;
+  }
+  SharedTraceView view(timeline.record.trace);
+  return Simulator(timeline.config)
+      .run(view, timeline.profile.name, policy_spec);
+}
+
+SampledResult SampledRunner::run(const std::string& policy_spec) {
+  SampledResult out;
+  out.workload = workload_;
+  out.regions = plan_.regions.size();
+  out.clusters = plan_.exhaustive ? plan_.regions.size()
+                                  : plan_.clusters.size();
+  out.instructions_projected = plan_.total_instructions;
+
+  if (plan_.exhaustive) {
+    const SimResult full = simulate_cell(timeline_for(0), policy_spec);
+    out.policy = full.policy;
+    out.exact = true;
+    out.full = full;
+    out.instructions_simulated = plan_.total_instructions;
+    for (const Extensive& m : kExtensive)
+      out.metrics.push_back(make_estimate(m.name, m.get(full), 0));
+    out.metrics.push_back(
+        make_estimate("instructions",
+                      static_cast<double>(plan_.total_instructions), 0));
+    out.metrics.push_back(make_estimate("ipc", full.ipc(), 0));
+    out.metrics.push_back(make_estimate("mpki", full.mpki(), 0));
+    out.metrics.push_back(make_estimate("gated_time_fraction",
+                                        full.gated_time_fraction(), 0));
+    MAPG_OBS_COUNTER_ADD("sim.sample.projected", plan_.total_instructions);
+    return out;
+  }
+
+  // Per-cluster representative results (each bit-identical to directly
+  // simulating its window).
+  std::vector<SimResult> reps;
+  reps.reserve(plan_.clusters.size());
+  for (std::size_t c = 0; c < plan_.clusters.size(); ++c) {
+    reps.push_back(simulate_cell(timeline_for(c), policy_spec));
+    out.instructions_simulated +=
+        plan_.regions[plan_.clusters[c].representative].length;
+  }
+  out.policy = reps.empty() ? policy_spec : reps.front().policy;
+  out.representative_results = reps;
+
+  // Projection + model-based dispersion.  For metric m with representative
+  // value m_k: every member region r of cluster k contributes a predicted
+  // share m_k * len_r / len_rep and an error term proportional to that
+  // share times the region's distance from its representative (signature
+  // L1 plus relative auxiliary work-intensity deviation).  The
+  // representative itself contributes zero, so a plan whose clusters are
+  // singletons — or whose members are signature-identical — reports a
+  // zero-width interval.
+  constexpr double kDispersion = 0.5;  ///< calibrated: see docs/TRACE.md
+  for (const Extensive& m : kExtensive) {
+    double value = 0, var = 0;
+    for (std::size_t c = 0; c < plan_.clusters.size(); ++c) {
+      const SampleCluster& cl = plan_.clusters[c];
+      const RegionSignature& rep = plan_.regions[cl.representative];
+      const double m_k = m.get(reps[c]);
+      const double rep_len = static_cast<double>(rep.length);
+      value += cl.weight * m_k;
+      for (std::size_t r : cl.members) {
+        if (r == cl.representative) continue;
+        const RegionSignature& reg = plan_.regions[r];
+        const double share =
+            m_k * static_cast<double>(reg.length) / rep_len;
+        const double aux_rep = std::max(rep.aux_intensity(), 1e-12);
+        const double delta =
+            std::abs(reg.aux_intensity() - aux_rep) / aux_rep +
+            0.5 * signature_l1(reg.v, rep.v);
+        const double err = kDispersion * share * delta;
+        var += err * err;
+      }
+    }
+    out.metrics.push_back(make_estimate(m.name, value, std::sqrt(var)));
+  }
+  const MetricEstimate instrs = make_estimate(
+      "instructions", static_cast<double>(plan_.total_instructions), 0);
+  const MetricEstimate cycles = *out.find("cycles");
+  const MetricEstimate dram = *out.find("dram_loads");
+  const MetricEstimate gated = *out.find("gated_cycles");
+  out.metrics.push_back(instrs);
+  out.metrics.push_back(make_ratio("ipc", instrs, cycles));
+  out.metrics.push_back(make_ratio("mpki", dram, instrs, 1000.0));
+  out.metrics.push_back(make_ratio("gated_time_fraction", gated, cycles));
+  MAPG_OBS_COUNTER_ADD("sim.sample.projected", plan_.total_instructions);
+  return out;
+}
+
+}  // namespace mapg

@@ -1,0 +1,95 @@
+// SampledRunner: simulate representatives, project whole-trace results.
+//
+// The dynamic half of sampled simulation (the static half is planner.h).
+// For every cluster representative the runner records one reference
+// timeline over the representative's trace window — warmup clamped to the
+// prefix available before the region — and then serves each requested
+// policy through the SAME three tiers the experiment engine uses for
+// generated workloads (replay exact -> checkpoint prefix-resume -> direct
+// fallback over the materialized window).  Per-representative results are
+// therefore bit-identical to directly simulating that window; approximation
+// enters ONLY in the projection step, where extensive metrics are scaled by
+// cluster weights and summed:
+//
+//   m_hat = sum_k w_k * m_k,   w_k = (sum_{r in k} len_r) / len_{rep_k}
+//
+// The confidence interval is model-based (one representative per cluster
+// leaves no within-cluster samples to take a classical variance from): each
+// member region contributes a deviation term proportional to its predicted
+// share times how far it sits from its representative in signature space
+// and auxiliary work intensity.  Zero dispersion (every member identical to
+// its representative — in particular the degenerate plan) yields a
+// zero-width interval; the bracket's empirical coverage is pinned by
+// tests/test_sampling.cpp and its honesty limits are spelled out in
+// docs/TRACE.md.
+//
+// Exhaustive plans short-circuit: one continuous full-trace run (warmup 0,
+// all instructions measured), reported verbatim with exact == true —
+// sampling must never cost accuracy when it saves no work.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "replay/replay.h"
+#include "sample/planner.h"
+
+namespace mapg {
+
+struct MetricEstimate {
+  std::string name;
+  double value = 0;
+  double stderr_ = 0;  ///< model-based standard error (0 => exact)
+  double ci_lo = 0;    ///< value -/+ 1.96 * stderr_
+  double ci_hi = 0;
+};
+
+struct SampledResult {
+  std::string workload;
+  std::string policy;
+  /// true: `full` holds a whole-trace SimResult bit-identical to direct
+  /// simulation (exhaustive plan); the metric list is derived from it with
+  /// zero-width intervals.
+  bool exact = false;
+  std::optional<SimResult> full;
+  std::vector<SimResult> representative_results;  ///< per cluster, in order
+  std::vector<MetricEstimate> metrics;
+
+  std::uint64_t regions = 0;             ///< plan regions
+  std::uint64_t clusters = 0;            ///< representatives simulated
+  std::uint64_t instructions_simulated = 0;  ///< measured instrs actually run
+  std::uint64_t instructions_projected = 0;  ///< whole-trace instrs claimed
+
+  const MetricEstimate* find(const std::string& name) const;
+};
+
+class SampledRunner {
+ public:
+  /// `base` supplies the platform (core/mem/tech/pg); its instruction and
+  /// warmup counts are overridden per window.  `trace` must outlive the
+  /// runner and is repositioned freely.
+  SampledRunner(const SimConfig& base, SeekableTraceSource& trace,
+                SamplePlan plan, std::string workload_name);
+
+  /// Project the whole trace under one policy.  Timelines are recorded
+  /// lazily on first use and shared across run() calls, so sweeping P
+  /// policies costs one recording + P replays per representative.
+  SampledResult run(const std::string& policy_spec);
+
+  const SamplePlan& plan() const { return plan_; }
+
+ private:
+  const StallTimeline& timeline_for(std::size_t cluster);
+  SimResult simulate_cell(const StallTimeline& timeline,
+                          const std::string& policy_spec) const;
+
+  SimConfig base_;
+  SeekableTraceSource& trace_;
+  SamplePlan plan_;
+  std::string workload_;
+  std::vector<std::optional<StallTimeline>> timelines_;  ///< per cluster
+};
+
+}  // namespace mapg

@@ -1,12 +1,34 @@
 // Binary trace persistence + in-memory trace sources.
 //
-// Format (little-endian):
-//   8 bytes   magic "MAPGTRC1"
-//   u64       record count
-//   records   { u8 op, u16 dep_dist, u64 addr } packed per instruction
+// Two on-disk format versions, both little-endian, both built from the same
+// 11-byte record { u8 op, u16 dep_dist, u64 addr }:
+//
+//   MAPGTRC1 (this file):
+//     8 bytes   magic "MAPGTRC1"
+//     u64       record count
+//     records   packed, contiguous, no index
+//   MAPGTRC2 (trace_file.h):
+//     chunked framing — magic "MAPGTRC2", header with total count, chunk
+//     size, per-chunk record counts and payload digests, and a whole-stream
+//     content digest used as the trace's cache identity.  Streamable and
+//     seekable; the record encoding is unchanged, so converting between
+//     versions preserves the instruction stream byte-for-byte.
+//
+// Error contract for v1 readers here (v2's streaming contract is documented
+// on FileTraceSource in trace_file.h):
+//   - read_trace / read_trace_file return false (with `error` filled when
+//     given) on bad magic, a truncated header, a header count so large it
+//     could only be corruption, an out-of-range op class, or a payload that
+//     ends before the promised record count — a SHORT READ is malformed
+//     input, never a silent short trace;
+//   - end-of-trace is only ever signaled by TraceSource::next() returning
+//     false after exactly the header's record count instructions; a v1 file
+//     that parses successfully always yields its full count.
+//   - write_trace backpatches the count header if the source ends early, so
+//     a written file is always internally consistent.
 //
 // Used to freeze generator output for exact cross-run replay and to feed the
-// simulator from externally captured traces.
+// simulator from externally captured traces (docs/TRACE.md).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +40,18 @@
 #include "trace/instr.h"
 
 namespace mapg {
+
+/// A bounded trace source with random access: the sampled-simulation layer
+/// (src/sample) positions these at region starts, so both the in-memory
+/// SharedTraceView and the streaming FileTraceSource (trace_file.h) qualify.
+class SeekableTraceSource : public TraceSource {
+ public:
+  /// Position the cursor at an absolute instruction index; past-the-end
+  /// clamps to the end (next() then returns false).
+  virtual void seek(std::uint64_t pos) = 0;
+  virtual std::uint64_t pos() const = 0;
+  virtual std::uint64_t size() const = 0;
+};
 
 /// Serves instructions from an in-memory vector (bounded trace).
 class VectorTraceSource final : public TraceSource {
@@ -66,7 +100,7 @@ class LimitedTraceSource final : public TraceSource {
 /// view the same materialized trace concurrently (each view carries its own
 /// cursor), which is how the replay engine (src/replay) shares one trace
 /// across every policy cell of a sweep group without copying it.
-class SharedTraceView final : public TraceSource {
+class SharedTraceView final : public SeekableTraceSource {
  public:
   explicit SharedTraceView(std::shared_ptr<const std::vector<Instr>> instrs)
       : instrs_(std::move(instrs)) {}
@@ -82,16 +116,16 @@ class SharedTraceView final : public TraceSource {
   /// buffer end).  Prefix-resume (src/replay/checkpoint.h) uses this to
   /// continue a run from a checkpoint's trace position instead of replaying
   /// the prefix through the core.
-  void seek(std::size_t pos) {
+  void seek(std::uint64_t pos) override {
     pos_ = pos < instrs_->size() ? pos : instrs_->size();
   }
-  std::size_t pos() const { return pos_; }
+  std::uint64_t pos() const override { return pos_; }
 
-  std::size_t size() const { return instrs_->size(); }
+  std::uint64_t size() const override { return instrs_->size(); }
 
  private:
   std::shared_ptr<const std::vector<Instr>> instrs_;
-  std::size_t pos_ = 0;
+  std::uint64_t pos_ = 0;
 };
 
 /// Rebases every memory address by a fixed offset.  The multicore simulator

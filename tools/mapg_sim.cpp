@@ -23,7 +23,9 @@
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "pg/factory.h"
+#include "sample/runner.h"
 #include "trace/profile.h"
+#include "trace/trace_file.h"
 
 using namespace mapg;
 
@@ -69,6 +71,17 @@ int usage() {
       "  --page-policy=open|closed|hybrid\n"
       "                                  DRAM page-management policy (alias\n"
       "                                  for dram.page_policy; docs/DRAM.md)\n"
+      "  --trace=FILE                    simulate an on-disk trace\n"
+      "                                  (MAPGTRC1/2; docs/TRACE.md) instead\n"
+      "                                  of a generated workload\n"
+      "  --sample-regions=N              sampled simulation: region size in\n"
+      "                                  instructions (0 = full run)\n"
+      "  --sample-clusters=K             clusters / representatives (def 8)\n"
+      "  --sample-warmup=N               warmup before each representative\n"
+      "  --sample-seed=N                 clustering seed\n"
+      "  --sample-sig-cache=FILE         signature cache (MAPGSIG1): load\n"
+      "                                  when digest+slicing match, else\n"
+      "                                  scan and refresh\n"
       "  --instructions=N --warmup=N --seed=N\n"
       "  --jobs=N                        worker threads (default: all cores)\n"
       "  --cache-dir=DIR                 persistent result cache\n"
@@ -205,6 +218,117 @@ int run_single(const KvConfig& kv, const std::vector<WorkloadProfile>& wls,
   return 0;
 }
 
+/// "value±halfwidth" rendering for sampled estimates (the halfwidth is the
+/// 95% CI; exact values print without the ±).
+std::string pm(const MetricEstimate& e, int prec) {
+  char buf[64];
+  if (e.stderr_ == 0) {
+    std::snprintf(buf, sizeof buf, "%.*f", prec, e.value);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*f±%.*f", prec, e.value, prec,
+                  e.value - e.ci_lo);
+  }
+  return buf;
+}
+
+int run_trace(const KvConfig& kv, const std::vector<std::string>& specs,
+              bool csv) {
+  std::vector<std::string> unknown;
+  SimConfig cfg = apply_sim_config(kv, SimConfig{}, &unknown);
+  for (const auto& k : unknown)
+    log_warn() << "ignoring unknown config key '" << k << "'";
+  const std::string path = kv.get_or("trace", "");
+  const std::string name = kv.get_or("trace-name", "trace:" + path);
+
+  try {
+    FileTraceSource trace(path);
+    const std::uint64_t region = kv.get_uint("sample-regions", 0);
+
+    if (region == 0) {
+      // Full simulation of a trace window through the engine: the binding's
+      // content digest keys the cache (exec schema v7).
+      if (!kv.contains("warmup")) cfg.warmup_instructions = 0;
+      const std::uint64_t avail =
+          trace.size() > cfg.warmup_instructions
+              ? trace.size() - cfg.warmup_instructions
+              : 0;
+      if (!kv.contains("instructions") || cfg.instructions > avail)
+        cfg.instructions = avail;
+      std::shared_ptr<ExperimentEngine> engine = make_engine(kv);
+      Table t({"workload", "instrs", "policy", "MPKI", "IPC", "gated_time",
+               "total_mJ"});
+      for (const auto& spec : specs) {
+        ExperimentJob job;
+        job.config = cfg;
+        job.profile.name = name;
+        job.policy_spec = spec;
+        job.trace = TraceBinding{path, trace.info().digest_hex(), 0, name};
+        const JobOutcome out = engine->run_one(job);
+        if (!out.ok) {
+          std::cerr << "policy '" << spec << "': " << out.error << "\n";
+          return 1;
+        }
+        const SimResult& r = *out.result;
+        t.begin_row()
+            .cell(name)
+            .cell(r.core.instrs)
+            .cell(r.policy)
+            .cell(r.mpki(), 1)
+            .cell(r.ipc(), 3)
+            .cell(format_percent(r.gated_time_fraction()))
+            .cell(r.energy.total_j() * 1e3, 3);
+      }
+      csv ? t.print_csv(std::cout) : t.print(std::cout);
+      return 0;
+    }
+
+    // Sampled simulation: plan once, project each policy (docs/TRACE.md).
+    SampleConfig scfg;
+    scfg.region_instructions = region;
+    scfg.clusters = kv.get_uint("sample-clusters", 8);
+    scfg.warmup_instructions = kv.get_uint("sample-warmup", 200'000);
+    scfg.seed = kv.get_uint("sample-seed", 42);
+    scfg.signature_cache = kv.get_or("sample-sig-cache", "");
+    SamplePlan plan = build_sample_plan(trace, scfg);
+    std::cout << name << ": " << plan.total_instructions << " instructions, "
+              << plan.regions.size() << " regions, " << plan.clusters.size()
+              << " clusters"
+              << (plan.exhaustive ? " (exhaustive: full run)" : "")
+              << ", simulating " << plan.sampled_instructions()
+              << " instructions\n";
+    SampledRunner runner(cfg, trace, std::move(plan), name);
+    Table t({"workload", "policy", "IPC", "MPKI", "gated_time", "total_mJ",
+             "exact"});
+    for (const auto& spec : specs) {
+      SampledResult r;
+      try {
+        r = runner.run(spec);
+      } catch (const std::exception& e) {
+        std::cerr << "policy '" << spec << "': " << e.what() << "\n";
+        return 1;
+      }
+      MetricEstimate energy = *r.find("energy_total_j");
+      energy.value *= 1e3;
+      energy.ci_lo *= 1e3;
+      energy.ci_hi *= 1e3;
+      energy.stderr_ *= 1e3;
+      t.begin_row()
+          .cell(r.workload)
+          .cell(r.policy)
+          .cell(pm(*r.find("ipc"), 3))
+          .cell(pm(*r.find("mpki"), 1))
+          .cell(pm(*r.find("gated_time_fraction"), 3))
+          .cell(pm(energy, 3))
+          .cell(r.exact ? "yes" : "no");
+    }
+    csv ? t.print_csv(std::cout) : t.print(std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "trace run failed: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 int run_multicore(const KvConfig& kv, const std::vector<WorkloadProfile>& wls,
                   const std::vector<std::string>& specs, bool csv) {
   std::vector<std::string> unknown;
@@ -285,19 +409,25 @@ int main(int argc, char** argv) {
       if (!kv.contains(k)) kv.set(k, v);
   }
 
-  const auto workloads = resolve_workloads(kv.get_or("workload", "mcf-like"));
-  if (workloads.empty()) return 1;
+  const bool csv = kv.get_bool("csv", false);
+  const auto seeds = static_cast<unsigned>(kv.get_uint("seeds", 1));
   const auto specs = resolve_policies(kv.get_or("policy", "std"));
   if (specs.empty()) {
     std::cerr << "no policies given\n";
     return usage();
   }
-  const bool csv = kv.get_bool("csv", false);
-  const auto seeds = static_cast<unsigned>(kv.get_uint("seeds", 1));
 
-  const int rc = kv.get_uint("cores", 0) > 1
-                     ? run_multicore(kv, workloads, specs, csv)
-                     : run_single(kv, workloads, specs, csv, seeds);
+  int rc;
+  if (kv.contains("trace")) {
+    rc = run_trace(kv, specs, csv);
+  } else {
+    const auto workloads =
+        resolve_workloads(kv.get_or("workload", "mcf-like"));
+    if (workloads.empty()) return 1;
+    rc = kv.get_uint("cores", 0) > 1
+             ? run_multicore(kv, workloads, specs, csv)
+             : run_single(kv, workloads, specs, csv, seeds);
+  }
 
   // Observability sinks run even after a failed run — partial metrics are
   // exactly what one wants when debugging the failure.

@@ -1,12 +1,21 @@
-// mapg_trace — generate, inspect, and characterize trace files.
+// mapg_trace — generate, convert, inspect, filter, and characterize traces.
 //
-//   mapg_trace gen --workload=mcf-like --count=1000000 --out=mcf.trc
-//   mapg_trace info --in=mcf.trc
-//   mapg_trace stats --workload=lbm-like --count=500000    # from generator
-//   mapg_trace stats --in=mcf.trc                          # from file
+//   mapg_trace gen     --workload=mcf-like --count=1000000 --out=mcf.trc
+//   mapg_trace convert --in=app.txt --dialect=rw --out=app.trc
+//   mapg_trace inspect --in=app.trc [--chunks]
+//   mapg_trace filter  --in=app.trc --out=app.l1f.trc --filter-kb=32
+//   mapg_trace plan    --in=app.trc --regions=100000 --clusters=8
+//   mapg_trace info    --in=mcf.trc
+//   mapg_trace stats   --workload=lbm-like --count=500000   # from generator
+//   mapg_trace stats   --in=mcf.trc                         # from file
 //
-// `stats` reports the instruction mix, footprint, and dependency-distance
-// distribution — the knobs that determine stall structure (profile.h).
+// gen/convert/filter write MAPGTRC2 by default (--format=v1 for the legacy
+// flat format); every file-reading subcommand accepts both versions through
+// the streaming FileTraceSource.  `convert` ingests text traces (dialects
+// `rw`: "R <addr>" / "W <addr>"; `dinero`: "0|1|2 <hexaddr>") and `filter`
+// models a capture-side L1 that rewrites hits to ALU filler without
+// changing the instruction count (docs/TRACE.md).  `plan` previews the
+// sampled-simulation clustering without running anything.
 #include <algorithm>
 #include <iostream>
 #include <set>
@@ -15,8 +24,11 @@
 #include "common/config.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "sample/planner.h"
+#include "trace/convert.h"
 #include "trace/generator.h"
 #include "trace/profile.h"
+#include "trace/trace_file.h"
 #include "trace/trace_io.h"
 
 using namespace mapg;
@@ -25,11 +37,31 @@ namespace {
 
 int usage() {
   std::cout <<
-      "usage: mapg_trace <gen|info|stats> [options]\n"
-      "  gen   --workload=NAME --count=N --out=FILE [--seed=N]\n"
-      "  info  --in=FILE\n"
-      "  stats (--workload=NAME --count=N [--seed=N]) | (--in=FILE)\n";
+      "usage: mapg_trace <gen|convert|inspect|filter|plan|info|stats> "
+      "[options]\n"
+      "  gen     --workload=NAME --count=N --out=FILE [--seed=N]\n"
+      "          [--format=v1|v2]\n"
+      "  convert --in=TEXT --dialect=rw|dinero --out=FILE [--dep-dist=N]\n"
+      "          [--pad=N] [--filter-kb=N [--filter-ways=N] [--line=N]]\n"
+      "          [--format=v1|v2]\n"
+      "  inspect --in=FILE [--chunks=1]\n"
+      "  filter  --in=FILE --out=FILE --filter-kb=N [--filter-ways=N]\n"
+      "          [--line=N] [--format=v1|v2]\n"
+      "  plan    --in=FILE [--regions=N] [--clusters=K] [--seed=N]\n"
+      "          [--sig-cache=FILE]\n"
+      "  info    --in=FILE\n"
+      "  stats   (--workload=NAME --count=N [--seed=N]) | (--in=FILE)\n";
   return 2;
+}
+
+/// Write `source` to `out` in the requested on-disk format.
+bool write_out(const KvConfig& kv, const std::string& out,
+               TraceSource& source, std::uint64_t count, std::string& err) {
+  const std::string format = kv.get_or("format", "v2");
+  if (format == "v1") return write_trace_file(out, source, count, &err);
+  if (format == "v2") return write_trace_file_v2(out, source, count, &err);
+  err = "unknown --format '" + format + "' (want v1 or v2)";
+  return false;
 }
 
 int cmd_gen(const KvConfig& kv) {
@@ -43,7 +75,7 @@ int cmd_gen(const KvConfig& kv) {
   const std::string out = kv.get_or("out", name + ".trc");
   TraceGenerator gen(*p, kv.get_uint("seed", 42));
   std::string err;
-  if (!write_trace_file(out, gen, count, &err)) {
+  if (!write_out(kv, out, gen, count, err)) {
     std::cerr << "write failed: " << err << "\n";
     return 1;
   }
@@ -51,15 +83,141 @@ int cmd_gen(const KvConfig& kv) {
   return 0;
 }
 
-int cmd_info(const KvConfig& kv) {
+int cmd_convert(const KvConfig& kv) {
   const std::string in = kv.get_or("in", "");
-  std::vector<Instr> trace;
+  const std::string out = kv.get_or("out", in + ".trc");
+  ConvertOptions opts;
+  opts.dep_dist =
+      static_cast<std::uint16_t>(kv.get_uint("dep-dist", 1));
+  opts.pad = kv.get_uint("pad", 0);
+  std::vector<Instr> instrs;
   std::string err;
-  if (!read_trace_file(in, trace, &err)) {
-    std::cerr << "read failed: " << err << "\n";
+  if (!convert_text_trace_file(in, kv.get_or("dialect", "rw"), opts, instrs,
+                               &err)) {
+    std::cerr << "convert failed: " << err << "\n";
     return 1;
   }
-  std::cout << in << ": " << trace.size() << " instructions\n";
+  const std::uint64_t count = instrs.size();
+  VectorTraceSource src(std::move(instrs));
+  if (const std::uint64_t kb = kv.get_uint("filter-kb", 0)) {
+    CacheFilter filter(kb * 1024, kv.get_uint("line", 64),
+                       kv.get_uint("filter-ways", 4));
+    FilteredTraceSource filtered(src, filter);
+    if (!write_out(kv, out, filtered, count, err)) {
+      std::cerr << "write failed: " << err << "\n";
+      return 1;
+    }
+    std::cout << "converted " << count << " instructions to " << out
+              << " (filter: " << filter.hits() << " hits rewritten, "
+              << filter.misses() << " misses kept)\n";
+    return 0;
+  }
+  if (!write_out(kv, out, src, count, err)) {
+    std::cerr << "write failed: " << err << "\n";
+    return 1;
+  }
+  std::cout << "converted " << count << " instructions to " << out << "\n";
+  return 0;
+}
+
+int cmd_inspect(const KvConfig& kv) {
+  const std::string in = kv.get_or("in", "");
+  try {
+    FileTraceSource src(in);
+    const TraceFileInfo& info = src.info();
+    Table t({"field", "value"});
+    t.begin_row().cell("format").cell("MAPGTRC" +
+                                      std::to_string(info.version));
+    t.begin_row().cell("records").cell(info.records);
+    t.begin_row().cell("chunk size").cell(info.chunk_size);
+    t.begin_row().cell("chunks").cell(info.n_chunks);
+    t.begin_row().cell("stream digest").cell(info.digest_hex());
+    t.print(std::cout);
+    if (kv.get_bool("chunks", false)) {
+      // Verify every chunk by streaming the whole file (next() checks each
+      // chunk digest as it loads).
+      Instr instr;
+      std::uint64_t n = 0;
+      while (src.next(instr)) ++n;
+      std::cout << "verified " << n << " records, all chunk digests ok\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "inspect failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_filter(const KvConfig& kv) {
+  const std::string in = kv.get_or("in", "");
+  const std::string out = kv.get_or("out", in + ".l1f");
+  const std::uint64_t kb = kv.get_uint("filter-kb", 32);
+  try {
+    FileTraceSource src(in);
+    CacheFilter filter(kb * 1024, kv.get_uint("line", 64),
+                       kv.get_uint("filter-ways", 4));
+    FilteredTraceSource filtered(src, filter);
+    std::string err;
+    if (!write_out(kv, out, filtered, src.size(), err)) {
+      std::cerr << "write failed: " << err << "\n";
+      return 1;
+    }
+    std::cout << "filtered " << src.size() << " instructions to " << out
+              << ": " << filter.hits() << " hits rewritten, "
+              << filter.misses() << " misses kept\n";
+  } catch (const std::exception& e) {
+    std::cerr << "filter failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_plan(const KvConfig& kv) {
+  const std::string in = kv.get_or("in", "");
+  SampleConfig cfg;
+  cfg.region_instructions = kv.get_uint("regions", 1'000'000);
+  cfg.clusters = kv.get_uint("clusters", 8);
+  cfg.seed = kv.get_uint("seed", 42);
+  cfg.signature_cache = kv.get_or("sig-cache", "");
+  try {
+    FileTraceSource src(in);
+    const SamplePlan plan = build_sample_plan(src, cfg);
+    std::cout << in << ": " << plan.total_instructions << " instructions, "
+              << plan.regions.size() << " regions of "
+              << cfg.region_instructions << ", " << plan.clusters.size()
+              << " clusters" << (plan.exhaustive ? " (exhaustive)" : "")
+              << "\n";
+    Table t({"cluster", "members", "representative", "weight", "sim instrs"});
+    for (std::size_t c = 0; c < plan.clusters.size(); ++c) {
+      const SampleCluster& cl = plan.clusters[c];
+      t.begin_row()
+          .cell(static_cast<std::uint64_t>(c))
+          .cell(static_cast<std::uint64_t>(cl.members.size()))
+          .cell(static_cast<std::uint64_t>(cl.representative))
+          .cell(cl.weight, 2)
+          .cell(plan.regions[cl.representative].length);
+    }
+    t.print(std::cout);
+    std::cout << "sampled instructions: " << plan.sampled_instructions()
+              << " of " << plan.total_instructions << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "plan failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_info(const KvConfig& kv) {
+  const std::string in = kv.get_or("in", "");
+  try {
+    FileTraceSource src(in);
+    std::cout << in << ": " << src.size() << " instructions (MAPGTRC"
+              << src.info().version << ", digest "
+              << src.info().digest_hex() << ")\n";
+  } catch (const std::exception& e) {
+    std::cerr << "read failed: " << e.what() << "\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -123,14 +281,13 @@ int run_stats(TraceSource& src, std::uint64_t limit) {
 int cmd_stats(const KvConfig& kv) {
   const std::uint64_t count = kv.get_uint("count", 500'000);
   if (auto in = kv.get("in")) {
-    std::vector<Instr> trace;
-    std::string err;
-    if (!read_trace_file(*in, trace, &err)) {
-      std::cerr << "read failed: " << err << "\n";
+    try {
+      FileTraceSource src(*in);
+      return run_stats(src, count);
+    } catch (const std::exception& e) {
+      std::cerr << "read failed: " << e.what() << "\n";
       return 1;
     }
-    VectorTraceSource src(std::move(trace));
-    return run_stats(src, count);
   }
   const WorkloadProfile* p = find_profile(kv.get_or("workload", ""));
   if (p == nullptr) {
@@ -149,6 +306,10 @@ int main(int argc, char** argv) {
   if (leftovers.size() != 1) return usage();
   const std::string& cmd = leftovers[0];
   if (cmd == "gen") return cmd_gen(kv);
+  if (cmd == "convert") return cmd_convert(kv);
+  if (cmd == "inspect") return cmd_inspect(kv);
+  if (cmd == "filter") return cmd_filter(kv);
+  if (cmd == "plan") return cmd_plan(kv);
   if (cmd == "info") return cmd_info(kv);
   if (cmd == "stats") return cmd_stats(kv);
   return usage();
