@@ -109,87 +109,109 @@ void Core::run(TraceSource& trace, std::uint64_t max_instrs) {
   }
 }
 
+void Core::run_batched(TraceSource& trace, std::uint64_t max_instrs) {
+  // Same per-instruction semantics as run() — exec_one is step()'s body —
+  // but fetched a block at a time, so the trace source fills SoA lanes
+  // without per-instruction virtual dispatch, and the derived cycles
+  // counter is refreshed per block instead of per instruction.  Statistics
+  // are only observed between run calls, so both deferrals are invisible.
+  InstrBlock block;
+  std::uint64_t done = 0;
+  while (done < max_instrs) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max_instrs - done, InstrBlock::kCapacity));
+    trace.next_batch(block, want);
+    if (block.count == 0) break;
+    for (std::size_t i = 0; i < block.count; ++i)
+      exec_one(block.op[i], block.addr[i], block.dep_dist[i]);
+    done += block.count;
+    stats_.cycles = now_ - stats_base_;
+    if (block.count < want) break;  // trace exhausted
+  }
+}
+
+void Core::exec_one(OpClass op, Addr addr, std::uint16_t dep_dist) {
+  const InstrId id = next_id_++;
+
+  // 1. Dependence check: does this instruction consume an unreturned load?
+  Blocker& slot = scoreboard_[id % scoreboard_.size()];
+  if (slot.ready != kNoCycle) {
+    if (slot.ready > now_) stall_until(slot, StallReason::kDependence);
+    slot = Blocker{};
+  }
+
+  ++stats_.instrs;
+  ++stats_.instr_by_class[static_cast<std::size_t>(op)];
+
+  switch (op) {
+    case OpClass::kLoad: {
+      // 2. MLP credit: a new load needs a free miss slot before it can
+      // probe the hierarchy (MSHR-full semantics).  A load that merges
+      // into an in-flight fill shares that entry and needs no credit.
+      prune_outstanding();
+      if (outstanding_.size() >= config_.mlp_window &&
+          !mem_.line_in_flight(addr)) {
+        const auto earliest = std::min_element(
+            outstanding_.begin(), outstanding_.end(),
+            [](const MemAccessResult& a, const MemAccessResult& b) {
+              return a.complete < b.complete;
+            });
+        Blocker b;
+        b.ready = earliest->complete;
+        b.commit = earliest->commit;
+        b.estimate = earliest->estimate;
+        b.dram = true;
+        stall_until(b, StallReason::kMlpLimit);
+        prune_outstanding();
+      }
+
+      const MemAccessResult res = mem_.load(addr, now_);
+      if (res.served_by == ServedBy::kDram && !res.merged)
+        outstanding_.push_back(res);
+
+      // 3. Register the consumer's blocker (keep the latest-finishing
+      // producer if several loads feed the same consumer slot).
+      if (dep_dist > 0) {
+        assert(dep_dist < scoreboard_.size() &&
+               "trace dep_dist exceeds scoreboard window");
+        Blocker& dep = scoreboard_[(id + dep_dist) % scoreboard_.size()];
+        if (dep.ready == kNoCycle || res.complete > dep.ready) {
+          dep.ready = res.complete;
+          dep.commit = res.commit;
+          dep.estimate = res.estimate;
+          dep.dram = res.served_by == ServedBy::kDram;
+        }
+      }
+      advance_slot();
+      break;
+    }
+    case OpClass::kStore:
+      // Retires through an unbounded write buffer: updates memory state
+      // (and thus future latencies) but never blocks issue.
+      mem_.store(addr, now_);
+      advance_slot();
+      break;
+    case OpClass::kDiv:
+      // Unpipelined divider blocks issue for its full latency and flushes
+      // the current issue group.
+      now_ += config_.div_latency;
+      slot_ = 0;
+      break;
+    case OpClass::kMul:
+    case OpClass::kFp:
+    case OpClass::kAlu:
+    case OpClass::kBranch:
+      // Pipelined issue: `issue_width` instructions per cycle; latencies
+      // only matter through load dependences, which the trace encodes.
+      advance_slot();
+      break;
+  }
+}
+
 bool Core::step(TraceSource& trace) {
   Instr instr;
   if (!trace.next(instr)) return false;
-  {
-    const InstrId id = next_id_++;
-
-    // 1. Dependence check: does this instruction consume an unreturned load?
-    Blocker& slot = scoreboard_[id % scoreboard_.size()];
-    if (slot.ready != kNoCycle) {
-      if (slot.ready > now_) stall_until(slot, StallReason::kDependence);
-      slot = Blocker{};
-    }
-
-    ++stats_.instrs;
-    ++stats_.instr_by_class[static_cast<std::size_t>(instr.op)];
-
-    switch (instr.op) {
-      case OpClass::kLoad: {
-        // 2. MLP credit: a new load needs a free miss slot before it can
-        // probe the hierarchy (MSHR-full semantics).  A load that merges
-        // into an in-flight fill shares that entry and needs no credit.
-        prune_outstanding();
-        if (outstanding_.size() >= config_.mlp_window &&
-            !mem_.line_in_flight(instr.addr)) {
-          const auto earliest = std::min_element(
-              outstanding_.begin(), outstanding_.end(),
-              [](const MemAccessResult& a, const MemAccessResult& b) {
-                return a.complete < b.complete;
-              });
-          Blocker b;
-          b.ready = earliest->complete;
-          b.commit = earliest->commit;
-          b.estimate = earliest->estimate;
-          b.dram = true;
-          stall_until(b, StallReason::kMlpLimit);
-          prune_outstanding();
-        }
-
-        const MemAccessResult res = mem_.load(instr.addr, now_);
-        if (res.served_by == ServedBy::kDram && !res.merged)
-          outstanding_.push_back(res);
-
-        // 3. Register the consumer's blocker (keep the latest-finishing
-        // producer if several loads feed the same consumer slot).
-        if (instr.dep_dist > 0) {
-          assert(instr.dep_dist < scoreboard_.size() &&
-                 "trace dep_dist exceeds scoreboard window");
-          Blocker& dep =
-              scoreboard_[(id + instr.dep_dist) % scoreboard_.size()];
-          if (dep.ready == kNoCycle || res.complete > dep.ready) {
-            dep.ready = res.complete;
-            dep.commit = res.commit;
-            dep.estimate = res.estimate;
-            dep.dram = res.served_by == ServedBy::kDram;
-          }
-        }
-        advance_slot();
-        break;
-      }
-      case OpClass::kStore:
-        // Retires through an unbounded write buffer: updates memory state
-        // (and thus future latencies) but never blocks issue.
-        mem_.store(instr.addr, now_);
-        advance_slot();
-        break;
-      case OpClass::kDiv:
-        // Unpipelined divider blocks issue for its full latency and flushes
-        // the current issue group.
-        now_ += config_.div_latency;
-        slot_ = 0;
-        break;
-      case OpClass::kMul:
-      case OpClass::kFp:
-      case OpClass::kAlu:
-      case OpClass::kBranch:
-        // Pipelined issue: `issue_width` instructions per cycle; latencies
-        // only matter through load dependences, which the trace encodes.
-        advance_slot();
-        break;
-    }
-  }
+  exec_one(instr.op, instr.addr, instr.dep_dist);
   stats_.cycles = now_ - stats_base_;
   return true;
 }

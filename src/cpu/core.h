@@ -62,6 +62,58 @@ struct StallEvent {
   Cycle length() const { return data_ready - start; }
 };
 
+/// Structure-of-arrays storage for an ordered StallEvent sequence.  The
+/// replay tiers (src/replay) stream these linearly — every window of every
+/// policy cell walks the full sequence — so keeping each field in its own
+/// contiguous vector turns that walk into four sequential streams instead
+/// of a 34-byte-stride gather.  push_back/operator[] round-trip StallEvent
+/// exactly; the two sub-Cycle fields (dram flag, reason) pack into one byte.
+class StallSeries {
+ public:
+  void clear() {
+    start_.clear();
+    data_ready_.clear();
+    commit_.clear();
+    estimate_.clear();
+    flags_.clear();
+  }
+  void reserve(std::size_t n) {
+    start_.reserve(n);
+    data_ready_.reserve(n);
+    commit_.reserve(n);
+    estimate_.reserve(n);
+    flags_.reserve(n);
+  }
+  void push_back(const StallEvent& ev) {
+    start_.push_back(ev.start);
+    data_ready_.push_back(ev.data_ready);
+    commit_.push_back(ev.commit);
+    estimate_.push_back(ev.estimate);
+    flags_.push_back(static_cast<std::uint8_t>(
+        (ev.dram ? 1u : 0u) |
+        (static_cast<unsigned>(ev.reason) << 1)));
+  }
+  StallEvent operator[](std::size_t i) const {
+    StallEvent ev;
+    ev.start = start_[i];
+    ev.data_ready = data_ready_[i];
+    ev.commit = commit_[i];
+    ev.estimate = estimate_[i];
+    ev.dram = (flags_[i] & 1u) != 0;
+    ev.reason = static_cast<StallReason>(flags_[i] >> 1);
+    return ev;
+  }
+  std::size_t size() const { return start_.size(); }
+  bool empty() const { return start_.empty(); }
+
+ private:
+  std::vector<Cycle> start_;
+  std::vector<Cycle> data_ready_;
+  std::vector<Cycle> commit_;
+  std::vector<Cycle> estimate_;
+  std::vector<std::uint8_t> flags_;  ///< bit 0: dram; bits 1+: reason
+};
+
 /// Receives every full-core stall and dictates the actual resume cycle.
 /// The power-gating controller in src/core implements this.
 class StallHandler {
@@ -72,17 +124,17 @@ class StallHandler {
   virtual Cycle on_stall(const StallEvent& event) { return event.data_ready; }
 };
 
-/// Tee decorator: appends every StallEvent to a sink vector, then forwards
+/// Tee decorator: appends every StallEvent to a sink series, then forwards
 /// to the wrapped handler unchanged.  Because it never alters the returned
 /// resume cycle, a recorded run is bit-identical to an unrecorded one — the
 /// property the replay engine (src/replay) is built on.  The sink can be
 /// switched mid-run (e.g. at the warmup boundary) so event phases land in
-/// separate vectors.
+/// separate series.
 class RecordingStallHandler final : public StallHandler {
  public:
   explicit RecordingStallHandler(StallHandler& inner) : inner_(inner) {}
 
-  void set_sink(std::vector<StallEvent>& sink) { sink_ = &sink; }
+  void set_sink(StallSeries& sink) { sink_ = &sink; }
 
   Cycle on_stall(const StallEvent& event) override {
     if (sink_ != nullptr) sink_->push_back(event);
@@ -91,7 +143,7 @@ class RecordingStallHandler final : public StallHandler {
 
  private:
   StallHandler& inner_;
-  std::vector<StallEvent>* sink_ = nullptr;
+  StallSeries* sink_ = nullptr;
 };
 
 struct CoreStats {
@@ -159,6 +211,15 @@ class Core {
   /// called repeatedly; time continues from the previous call.
   void run(TraceSource& trace, std::uint64_t max_instrs);
 
+  /// Batched variant of run(): pulls InstrBlocks via TraceSource::next_batch
+  /// and executes them through the same per-instruction semantics
+  /// (exec_one), deferring only the derived cycles counter to block
+  /// boundaries.  Statistics are observed exclusively between run calls, so
+  /// the result is bit-identical to run() — a pure execution-strategy knob
+  /// (SimConfig::batched), proven by the differential suite and the
+  /// micro_sim_throughput identity gate.
+  void run_batched(TraceSource& trace, std::uint64_t max_instrs);
+
   /// Execute exactly one instruction; returns false at end-of-trace.  The
   /// multicore scheduler uses this to interleave cores in time order.
   bool step(TraceSource& trace);
@@ -179,6 +240,10 @@ class Core {
   void reset_stats();
 
  private:
+  /// Execute one already-fetched instruction: the shared body of step() and
+  /// run_batched().  Everything except the trace fetch and the derived
+  /// stats_.cycles update.
+  void exec_one(OpClass op, Addr addr, std::uint16_t dep_dist);
   void stall_until(Blocker blocker, StallReason reason);
   /// Bulk-advance API: charge the whole window [ev.start, resume) to the
   /// stall counters in closed form (fast-forward mode)...

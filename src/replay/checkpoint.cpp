@@ -251,12 +251,12 @@ SimResult resume_from_checkpoint(const StallTimeline& timeline,
   // run's controller at this instruction position; the resume cycles the
   // prefix feed returns are therefore already reflected in ck and are
   // discarded here.
-  const std::vector<StallEvent>& warm = timeline.record.warmup_stalls;
-  const std::vector<StallEvent>& meas = timeline.record.stalls;
+  const StallSeries& warm = timeline.record.warmup_stalls;
+  const StallSeries& meas = timeline.record.stalls;
   if (ck.in_warmup) {
     for (std::uint64_t i = 0; i < ck.windows; ++i) controller.on_stall(warm[i]);
   } else {
-    for (const StallEvent& ev : warm) controller.on_stall(ev);
+    for (std::size_t i = 0; i < warm.size(); ++i) controller.on_stall(warm[i]);
     controller.reset_stats();  // no-op when warmup==0, matching run_impl
     const std::uint64_t measured = ck.windows - warm.size();
     for (std::uint64_t i = 0; i < measured; ++i) controller.on_stall(meas[i]);

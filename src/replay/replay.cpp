@@ -68,8 +68,12 @@ ReplayOutcome replay_policy(const StallTimeline& timeline,
   PgController controller(*policy, circuit, nullptr, kparams);
 
   ReplayOutcome out;
-  auto feed = [&](const std::vector<StallEvent>& events) {
-    for (const StallEvent& ev : events) {
+  // The series is SoA (cpu/core.h): iterate by index so each field is read
+  // from its own contiguous stream, materializing one event at a time.
+  auto feed = [&](const StallSeries& events) {
+    const std::size_t n = events.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const StallEvent ev = events[i];
       ++out.windows;
       if (controller.on_stall(ev) != ev.data_ready) return false;
     }

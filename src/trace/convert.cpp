@@ -40,7 +40,8 @@ bool convert_text_trace(std::istream& is, const std::string& dialect,
                         const ConvertOptions& options,
                         std::vector<Instr>& out, std::string* error) {
   const bool rw = dialect == "rw";
-  if (!rw && dialect != "dinero") {
+  const bool champsim = dialect == "champsim";
+  if (!rw && !champsim && dialect != "dinero") {
     if (error) *error = "unknown trace dialect '" + dialect + "'";
     return false;
   }
@@ -54,6 +55,35 @@ bool convert_text_trace(std::istream& is, const std::string& dialect,
     if (op_tok[0] == '#') continue;
     if (!(ls >> addr_tok))
       return fail(error, line_no, "missing address after '" + op_tok + "'");
+
+    if (champsim) {
+      // `<ip> <addr> <L|S>`: the IP is validated, then dropped (no I-side).
+      std::string type_tok;
+      if (!(ls >> type_tok))
+        return fail(error, line_no,
+                    "missing access type after '" + addr_tok + "'");
+      std::string extra;
+      if (ls >> extra && extra[0] != '#')
+        return fail(error, line_no, "trailing token '" + extra + "'");
+      Addr ip = 0;
+      Addr addr = 0;
+      if (!parse_addr(op_tok, 16, ip))
+        return fail(error, line_no,
+                    "bad hex instruction pointer '" + op_tok + "'");
+      if (!parse_addr(addr_tok, 16, addr))
+        return fail(error, line_no, "bad hex address '" + addr_tok + "'");
+      if (type_tok.size() != 1)
+        return fail(error, line_no,
+                    "access type must be L or S, got '" + type_tok + "'");
+      const char t = static_cast<char>(
+          std::toupper(static_cast<unsigned char>(type_tok[0])));
+      if (t != 'L' && t != 'S')
+        return fail(error, line_no,
+                    "access type must be L or S, got '" + type_tok + "'");
+      emit(out, t == 'L' ? OpClass::kLoad : OpClass::kStore, addr, options);
+      continue;
+    }
+
     std::string extra;
     if (ls >> extra && extra[0] != '#')
       return fail(error, line_no, "trailing token '" + extra + "'");
@@ -141,6 +171,20 @@ bool FilteredTraceSource::next(Instr& out) {
     out.dep_dist = 0;
   }
   return true;
+}
+
+std::size_t FilteredTraceSource::next_batch(InstrBlock& out, std::size_t max) {
+  inner_.next_batch(out, max);
+  for (std::size_t i = 0; i < out.count; ++i) {
+    if (out.addr[i] != kNoAddr &&
+        (out.op[i] == OpClass::kLoad || out.op[i] == OpClass::kStore) &&
+        filter_.access(out.addr[i])) {
+      out.op[i] = OpClass::kAlu;
+      out.addr[i] = kNoAddr;
+      out.dep_dist[i] = 0;
+    }
+  }
+  return out.count;
 }
 
 }  // namespace mapg

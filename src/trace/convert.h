@@ -3,13 +3,17 @@
 // Externally captured traces usually arrive as text: one memory access per
 // line in ChampSim/Dinero-style notation.  The converters here turn those
 // into Instr streams that write_trace_v2 can freeze, so a public trace
-// becomes a first-class workload next to the synthetic generators.  Two
+// becomes a first-class workload next to the synthetic generators.  Three
 // dialects are recognized (docs/TRACE.md has examples):
 //
-//   rw:     `R <addr>` / `W <addr>` — addr parsed with base auto-detection
-//           (0x… hex, 0… octal, else decimal); case-insensitive op letter.
-//   dinero: `<label> <addr>` — label 0 = read, 1 = write, 2 = ifetch
-//           (dropped: the model has no I-side), addr always hex.
+//   rw:       `R <addr>` / `W <addr>` — addr parsed with base auto-detection
+//             (0x… hex, 0… octal, else decimal); case-insensitive op letter.
+//   dinero:   `<label> <addr>` — label 0 = read, 1 = write, 2 = ifetch
+//             (dropped: the model has no I-side), addr always hex.
+//   champsim: `<ip> <addr> <L|S>` — ChampSim-style text (CRC2 notation):
+//             instruction pointer first (parsed for validation, then dropped
+//             — no I-side), data address, then L (load) / S (store),
+//             case-insensitive; both addresses hex with optional 0x prefix.
 //
 // Both skip blank lines and `#` comments and reject anything else with a
 // line-numbered error.  Loads get a configurable dep_dist and each memory
@@ -39,9 +43,9 @@ struct ConvertOptions {
   std::uint64_t pad = 0;
 };
 
-/// Parse a text trace (dialect "rw" or "dinero") into `out`.  Returns false
-/// with a line-numbered `error` on the first malformed line or an unknown
-/// dialect name.
+/// Parse a text trace (dialect "rw", "dinero", or "champsim") into `out`.
+/// Returns false with a line-numbered `error` on the first malformed line or
+/// an unknown dialect name.
 bool convert_text_trace(std::istream& is, const std::string& dialect,
                         const ConvertOptions& options,
                         std::vector<Instr>& out,
@@ -95,6 +99,12 @@ class FilteredTraceSource final : public TraceSource {
 
   bool next(Instr& out) override;
   void reset() override { inner_.reset(); }
+
+  /// Bulk-fill from the inner source, then apply the filter rewrite in
+  /// place.  The filter is consulted in stream order, so its LRU state (and
+  /// therefore the rewritten stream) matches scalar next() exactly.
+  std::size_t next_batch(InstrBlock& out,
+                         std::size_t max = InstrBlock::kCapacity) override;
 
  private:
   TraceSource& inner_;

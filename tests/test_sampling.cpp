@@ -221,6 +221,35 @@ TEST(Convert, DineroDialectDropsIfetchKeepsCount) {
   EXPECT_EQ(out[1].addr, 0x2000u);
 }
 
+TEST(Convert, ChampsimDialectGolden) {
+  // CRC2-style text: `<ip> <addr> <L|S>`, both hex with optional 0x; the
+  // instruction pointer is validated then dropped (the model has no I-side).
+  std::istringstream text(
+      "# champsim text capture\n"
+      "0x401a10 0x7f001000 L\n"
+      "\n"
+      "401a14 7f002040 s\n"
+      "0x401a18 0x7f001000 L # trailing comment\n");
+  ConvertOptions opts;
+  opts.dep_dist = 5;
+  opts.pad = 1;
+  std::vector<Instr> out;
+  std::string err;
+  ASSERT_TRUE(convert_text_trace(text, "champsim", opts, out, &err)) << err;
+  // 3 accesses, each followed by one ALU pad.
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0].op, OpClass::kLoad);
+  EXPECT_EQ(out[0].addr, 0x7f001000u);
+  EXPECT_EQ(out[0].dep_dist, 5);
+  EXPECT_EQ(out[1].op, OpClass::kAlu);
+  EXPECT_EQ(out[1].addr, kNoAddr);
+  EXPECT_EQ(out[2].op, OpClass::kStore);  // lowercase s accepted
+  EXPECT_EQ(out[2].addr, 0x7f002040u);
+  EXPECT_EQ(out[2].dep_dist, 0);  // stores carry no dep distance
+  EXPECT_EQ(out[4].op, OpClass::kLoad);
+  EXPECT_EQ(out[4].addr, 0x7f001000u);
+}
+
 TEST(Convert, MalformedLineFailsWithLineNumber) {
   std::istringstream text("R 0x1000\nQ 0x2000\n");
   ConvertOptions opts;
@@ -228,6 +257,35 @@ TEST(Convert, MalformedLineFailsWithLineNumber) {
   std::string err;
   EXPECT_FALSE(convert_text_trace(text, "rw", opts, out, &err));
   EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+TEST(Convert, ChampsimMalformedLinesFailWithLineNumber) {
+  ConvertOptions opts;
+  const struct {
+    const char* text;
+    const char* needle;
+  } cases[] = {
+      // Missing access type.
+      {"0x400 0x1000 L\n0x404 0x2000\n", "line 2"},
+      // Bad type letter.
+      {"0x400 0x1000 X\n", "access type must be L or S"},
+      // Multi-char type token.
+      {"0x400 0x1000 LS\n", "access type must be L or S"},
+      // Non-hex instruction pointer.
+      {"zzz 0x1000 L\n", "bad hex instruction pointer"},
+      // Non-hex data address.
+      {"0x400 0xqq L\n", "bad hex address"},
+      // Trailing garbage.
+      {"0x400 0x1000 L extra\n", "trailing token"},
+  };
+  for (const auto& c : cases) {
+    std::istringstream text(c.text);
+    std::vector<Instr> out;
+    std::string err;
+    EXPECT_FALSE(convert_text_trace(text, "champsim", opts, out, &err))
+        << c.text;
+    EXPECT_NE(err.find(c.needle), std::string::npos) << err;
+  }
 }
 
 TEST(Convert, CacheFilterRewritesHitsPreservesCount) {

@@ -12,7 +12,8 @@
 // gen/convert/filter write MAPGTRC2 by default (--format=v1 for the legacy
 // flat format); every file-reading subcommand accepts both versions through
 // the streaming FileTraceSource.  `convert` ingests text traces (dialects
-// `rw`: "R <addr>" / "W <addr>"; `dinero`: "0|1|2 <hexaddr>") and `filter`
+// `rw`: "R <addr>" / "W <addr>"; `dinero`: "0|1|2 <hexaddr>"; `champsim`:
+// "<hexip> <hexaddr> <L|S>", the IP validated then dropped) and `filter`
 // models a capture-side L1 that rewrites hits to ALU filler without
 // changing the instruction count (docs/TRACE.md).  `plan` previews the
 // sampled-simulation clustering without running anything.
@@ -41,7 +42,8 @@ int usage() {
       "[options]\n"
       "  gen     --workload=NAME --count=N --out=FILE [--seed=N]\n"
       "          [--format=v1|v2]\n"
-      "  convert --in=TEXT --dialect=rw|dinero --out=FILE [--dep-dist=N]\n"
+      "  convert --in=TEXT --dialect=rw|dinero|champsim --out=FILE\n"
+      "          [--dep-dist=N]\n"
       "          [--pad=N] [--filter-kb=N [--filter-ways=N] [--line=N]]\n"
       "          [--format=v1|v2]\n"
       "  inspect --in=FILE [--chunks=1]\n"
